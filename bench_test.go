@@ -1,0 +1,120 @@
+package repro
+
+// One benchmark per experiment in DESIGN.md's index (the paper is a theory
+// paper; its "tables and figures" are its theorems, each reproduced by one
+// experiment). Each bench runs the experiment at reduced (quick) scale so
+// `go test -bench=.` regenerates the whole suite in minutes; cmd/varbench
+// without -quick produces the full-scale tables recorded in EXPERIMENTS.md.
+//
+// Micro-benchmarks of the hot paths (per-update tracker cost) follow the
+// experiment benches.
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/expt"
+	"repro/internal/stream"
+	"repro/internal/track"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := expt.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := e.Run(expt.Config{Quick: true, Seed: 42})
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkE01MonotoneVariability(b *testing.B) { benchExperiment(b, "E01") }
+func BenchmarkE02NearlyMonotone(b *testing.B)      { benchExperiment(b, "E02") }
+func BenchmarkE03RandomWalk(b *testing.B)          { benchExperiment(b, "E03") }
+func BenchmarkE04BiasedWalk(b *testing.B)          { benchExperiment(b, "E04") }
+func BenchmarkE05Partitioning(b *testing.B)        { benchExperiment(b, "E05") }
+func BenchmarkE06Deterministic(b *testing.B)       { benchExperiment(b, "E06") }
+func BenchmarkE07Randomized(b *testing.B)          { benchExperiment(b, "E07") }
+func BenchmarkE08MonotoneReduction(b *testing.B)   { benchExperiment(b, "E08") }
+func BenchmarkE09VsLRV(b *testing.B)               { benchExperiment(b, "E09") }
+func BenchmarkE10SingleSite(b *testing.B)          { benchExperiment(b, "E10") }
+func BenchmarkE11LargeUpdates(b *testing.B)        { benchExperiment(b, "E11") }
+func BenchmarkE12FreqExact(b *testing.B)           { benchExperiment(b, "E12") }
+func BenchmarkE13FreqCM(b *testing.B)              { benchExperiment(b, "E13") }
+func BenchmarkE14FreqCR(b *testing.B)              { benchExperiment(b, "E14") }
+func BenchmarkE15DetFamily(b *testing.B)           { benchExperiment(b, "E15") }
+func BenchmarkE16RandFamily(b *testing.B)          { benchExperiment(b, "E16") }
+func BenchmarkE17Tracing(b *testing.B)             { benchExperiment(b, "E17") }
+func BenchmarkE18OverlapChain(b *testing.B)        { benchExperiment(b, "E18") }
+func BenchmarkE19NetTransport(b *testing.B)        { benchExperiment(b, "E19") }
+func BenchmarkE20ChangepointSummary(b *testing.B)  { benchExperiment(b, "E20") }
+func BenchmarkE21FreqSampledAblation(b *testing.B) { benchExperiment(b, "E21") }
+func BenchmarkE22QuantileHistory(b *testing.B)     { benchExperiment(b, "E22") }
+func BenchmarkE23Threshold(b *testing.B)           { benchExperiment(b, "E23") }
+func BenchmarkE24DyadicRank(b *testing.B)          { benchExperiment(b, "E24") }
+
+// benchTrackerThroughput measures end-to-end simulator throughput
+// (updates/sec) for a tracker on a fixed stream — the systems-facing cost
+// of the algorithms, complementing the message-count experiments.
+func benchTrackerThroughput(b *testing.B, build track.Builder, k int, eps float64) {
+	ups := stream.Collect(stream.NewAssign(stream.BiasedWalk(int64(b.N)+1, 0.2, 7), stream.NewRoundRobin(k)))
+	coord, sites := build(k, eps, 1)
+	sim := dist.NewSim(coord, sites)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step(ups[i])
+	}
+	b.ReportMetric(float64(sim.Stats().Total())/float64(b.N), "msgs/op")
+}
+
+func BenchmarkThroughputDeterministic(b *testing.B) {
+	benchTrackerThroughput(b, func(k int, eps float64, seed uint64) (dist.CoordAlgo, []dist.SiteAlgo) {
+		return track.NewDeterministic(k, eps)
+	}, 8, 0.1)
+}
+
+func BenchmarkThroughputRandomized(b *testing.B) {
+	benchTrackerThroughput(b, func(k int, eps float64, seed uint64) (dist.CoordAlgo, []dist.SiteAlgo) {
+		return track.NewRandomized(k, eps, seed)
+	}, 8, 0.1)
+}
+
+func BenchmarkThroughputNaive(b *testing.B) {
+	benchTrackerThroughput(b, func(k int, eps float64, seed uint64) (dist.CoordAlgo, []dist.SiteAlgo) {
+		return track.NewNaive(k)
+	}, 8, 0.1)
+}
+
+// BenchmarkAblationBlockPartition isolates the §3.1 partitioner's overhead:
+// the same deterministic estimator run with a huge ε (so in-block traffic
+// vanishes and only partition messages remain) versus a practical ε.
+func BenchmarkAblationBlockPartition(b *testing.B) {
+	for _, eps := range []float64{0.99, 0.1, 0.01} {
+		b.Run("eps="+fmtEps(eps), func(b *testing.B) {
+			ups := stream.Collect(stream.NewAssign(stream.BiasedWalk(int64(b.N)+1, 0.3, 3), stream.NewRoundRobin(8)))
+			coord, sites := track.NewDeterministic(8, eps)
+			sim := dist.NewSim(coord, sites)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Step(ups[i])
+			}
+			b.ReportMetric(float64(sim.Stats().Total())/float64(b.N), "msgs/op")
+		})
+	}
+}
+
+func fmtEps(e float64) string {
+	switch e {
+	case 0.99:
+		return "0.99"
+	case 0.1:
+		return "0.10"
+	default:
+		return "0.01"
+	}
+}

@@ -1,0 +1,68 @@
+// Command varbench runs the reproduction experiments (E01–E24 in DESIGN.md)
+// and prints paper-vs-measured tables.
+//
+// Usage:
+//
+//	varbench [-exp E01,E06] [-quick] [-seed 42] [-csv]
+//
+// With no -exp flag every experiment runs in index order. -quick shrinks
+// stream lengths and trial counts by roughly 10× for a fast smoke run;
+// EXPERIMENTS.md records a full (non-quick) run. -csv emits comma-separated
+// values instead of aligned tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs (e.g. E01,E06), or 'all'")
+		quick    = flag.Bool("quick", false, "run reduced-scale experiments")
+		seed     = flag.Uint64("seed", 42, "root RNG seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		listOnly = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, e := range expt.All() {
+			fmt.Printf("%s  %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	cfg := expt.Config{Quick: *quick, Seed: *seed}
+	var selected []expt.Experiment
+	if *expFlag == "all" {
+		selected = expt.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := expt.Find(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "varbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tbl := e.Run(cfg)
+		if *csv {
+			tbl.CSV(os.Stdout)
+			fmt.Println()
+		} else {
+			tbl.Render(os.Stdout)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,161 @@
+// Command varmon demonstrates the library as a real distributed monitoring
+// service: a TCP coordinator and k in-process sites track a simulated
+// update stream with the deterministic variability tracker of §3.3 and
+// periodically print the coordinator's estimate against the true value.
+//
+// Usage:
+//
+//	varmon [-k 4] [-eps 0.1] [-n 100000] [-stream randwalk|biased|monotone|sawtooth] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dist"
+	"repro/internal/stream"
+	"repro/internal/track"
+)
+
+func main() {
+	var (
+		k       = flag.Int("k", 4, "number of sites")
+		eps     = flag.Float64("eps", 0.1, "relative error parameter")
+		n       = flag.Int64("n", 100_000, "stream length")
+		seed    = flag.Uint64("seed", 1, "stream seed")
+		sclass  = flag.String("stream", "randwalk", "stream class: randwalk|biased|monotone|sawtooth")
+		refresh = flag.Int64("progress", 10, "progress lines to print")
+		record  = flag.String("record", "", "write the generated workload to this trace file")
+		replay  = flag.String("replay", "", "drive the run from a recorded trace file instead of a generator")
+	)
+	flag.Parse()
+
+	var gen stream.Stream
+	switch *sclass {
+	case "randwalk":
+		gen = stream.RandomWalk(*n, *seed)
+	case "biased":
+		gen = stream.BiasedWalk(*n, 0.2, *seed)
+	case "monotone":
+		gen = stream.Monotone(*n)
+	case "sawtooth":
+		gen = stream.Sawtooth(*n, 64, 32)
+	default:
+		fmt.Fprintf(os.Stderr, "varmon: unknown stream class %q\n", *sclass)
+		os.Exit(2)
+	}
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "varmon: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tr, err := stream.NewTraceReader(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "varmon: %v\n", err)
+			os.Exit(1)
+		}
+		// Replayed traces already carry site assignments; feed directly.
+		gen = tr
+	}
+	if *record != "" {
+		// Materialize, write, then run from the recorded copy so the
+		// file and the run see the identical workload.
+		assigned := stream.NewAssign(gen, stream.NewRoundRobin(*k))
+		ups := stream.Collect(assigned)
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "varmon: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := stream.WriteTrace(f, stream.NewSlice(ups)); err != nil {
+			fmt.Fprintf(os.Stderr, "varmon: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		gen = stream.NewSlice(ups)
+		fmt.Printf("recorded %d updates to %s\n", len(ups), *record)
+	}
+
+	coordAlgo, siteAlgos := track.NewDeterministic(*k, *eps)
+	coord, err := dist.ListenCoordinator("127.0.0.1:0", *k, coordAlgo)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "varmon: listen: %v\n", err)
+		os.Exit(1)
+	}
+	defer coord.Close()
+	fmt.Printf("coordinator listening on %s; %d sites connecting\n", coord.Addr(), *k)
+
+	sites := make([]*dist.NetSite, *k)
+	for i := 0; i < *k; i++ {
+		s, err := dist.DialNetSite(coord.Addr(), i, siteAlgos[i])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "varmon: dial site %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		defer s.Close()
+		sites[i] = s
+	}
+
+	var st stream.Stream = stream.NewAssign(gen, stream.NewRoundRobin(*k))
+	if *replay != "" || *record != "" {
+		st = gen // already assigned
+	}
+	var f int64
+	every := *n / *refresh
+	if every < 1 {
+		every = 1
+	}
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		f += u.Delta
+		sites[u.Site].Update(u)
+		if u.T%every == 0 {
+			// Flush so the printed estimate reflects all sent messages.
+			for round := 0; round < 2; round++ {
+				for _, s := range sites {
+					if err := s.Barrier(); err != nil {
+						fmt.Fprintf(os.Stderr, "varmon: barrier: %v\n", err)
+						os.Exit(1)
+					}
+				}
+			}
+			est := coord.Estimate()
+			rel := 0.0
+			if f != 0 {
+				rel = float64(abs64(f-est)) / float64(abs64(f))
+			}
+			fmt.Printf("t=%-10d f=%-10d f̂=%-10d rel.err=%-8.5f msgs=%d\n",
+				u.T, f, est, rel, coord.Stats().Total())
+		}
+	}
+
+	for round := 0; round < 2; round++ {
+		for _, s := range sites {
+			if err := s.Barrier(); err != nil {
+				fmt.Fprintf(os.Stderr, "varmon: final barrier: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	stats := coord.Stats()
+	fmt.Printf("\nfinal: f=%d f̂=%d | messages=%d (%.4f/update) wire bytes=%d\n",
+		f, coord.Estimate(), stats.Total(),
+		float64(stats.Total())/float64(*n), stats.Bytes)
+	if err := coord.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "varmon: transport error: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

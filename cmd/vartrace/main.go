@@ -1,0 +1,94 @@
+// Command vartrace demonstrates the tracing problem of section 4 /
+// appendix D: it runs a tracker over a stream while recording the
+// communication transcript, then answers historical queries f̂(t) by
+// replay — the "auditing changes to time-varying datasets" use case from
+// the paper's introduction.
+//
+// Usage:
+//
+//	vartrace [-k 4] [-eps 0.1] [-n 100000] [-seed 1] [-q t1,t2,...]
+//
+// Without -q, ten evenly spaced historical queries are answered.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/lowerbound"
+	"repro/internal/stream"
+	"repro/internal/track"
+)
+
+func main() {
+	var (
+		k     = flag.Int("k", 4, "number of sites")
+		eps   = flag.Float64("eps", 0.1, "relative error parameter")
+		n     = flag.Int64("n", 100_000, "stream length")
+		seed  = flag.Uint64("seed", 1, "stream seed")
+		qflag = flag.String("q", "", "comma-separated historical query times")
+	)
+	flag.Parse()
+
+	coord, sites := track.NewDeterministic(*k, *eps)
+	sim := dist.NewSim(coord, sites)
+	summary := lowerbound.NewTranscriptSummary(func() dist.CoordAlgo {
+		c, _ := track.NewDeterministic(*k, *eps)
+		return c
+	})
+	sim.Recorder = summary.Recorder()
+
+	st := stream.NewAssign(stream.RandomWalk(*n, *seed), stream.NewRoundRobin(*k))
+	exact := make([]int64, 0, *n)
+	var f int64
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		sim.Step(u)
+		f += u.Delta
+		exact = append(exact, f)
+	}
+	fmt.Printf("streamed n=%d updates over k=%d sites (ε=%g)\n", *n, *k, *eps)
+	fmt.Printf("transcript: %d messages, %d bits (%.2f bits/update)\n\n",
+		summary.Len(), summary.SizeBits(), float64(summary.SizeBits())/float64(*n))
+
+	var queries []int64
+	if *qflag != "" {
+		for _, part := range strings.Split(*qflag, ",") {
+			q, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil || q < 1 || q > *n {
+				fmt.Fprintf(os.Stderr, "vartrace: bad query %q\n", part)
+				os.Exit(2)
+			}
+			queries = append(queries, q)
+		}
+	} else {
+		for i := int64(1); i <= 10; i++ {
+			queries = append(queries, i**n/10)
+		}
+	}
+
+	fmt.Printf("%-12s %-12s %-12s %s\n", "t", "f(t)", "f̂(t)", "rel.err")
+	for _, q := range queries {
+		est := summary.Query(q)
+		fv := exact[q-1]
+		rel := 0.0
+		if fv != 0 {
+			rel = abs(float64(fv-est)) / abs(float64(fv))
+		}
+		fmt.Printf("%-12d %-12d %-12d %.5f\n", q, fv, est, rel)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,33 @@
+// Package repro is a from-scratch Go reproduction of "Variability in Data
+// Streams" by David Felber and Rafail Ostrovsky (PODS 2016; arXiv:1502.07027).
+//
+// The paper introduces the variability parameter
+//
+//	v(n) = Σ_{t=1..n} min{1, |f'(t)| / |f(t)|}
+//
+// for non-monotonic distributed update streams and shows that continuous
+// ε-relative-error tracking costs Θ̃(v) communication: O((k/ε)·v)
+// deterministic and O((k+√k/ε)·v) randomized upper bounds, with matching
+// (up to log factors) space+communication lower bounds.
+//
+// Layout:
+//
+//	internal/core       variability tracker + closed-form theory bounds (§2)
+//	internal/stream     update-stream model and every input class analyzed
+//	internal/dist       distributed monitoring runtime: sim + TCP transport
+//	internal/track      §3 trackers (partitioner, det, rand) and baselines
+//	internal/freq       appendix-H item-frequency tracking
+//	internal/sketch     Count-Min and CR-precis substrates
+//	internal/markov     appendix-G chain machinery and Chernoff bounds
+//	internal/lowerbound §4 hard families, tracing summaries, Index reduction
+//	internal/bound      the paper's bounds as executable formulas
+//	internal/stats      summary statistics and scaling-exponent fits
+//	internal/expt       experiment harness (E01–E24; see DESIGN.md)
+//	cmd/varbench        run the experiments
+//	cmd/varmon          live TCP monitoring demo
+//	cmd/vartrace        historical-query (tracing) demo
+//	examples/...        runnable scenario walkthroughs
+//
+// bench_test.go regenerates every experiment as a Go benchmark;
+// EXPERIMENTS.md records a full paper-vs-measured run.
+package repro

@@ -1,0 +1,88 @@
+// Freqtrack: distributed heavy hitters over an insert/delete item stream
+// (appendix H). A cluster of k collectors observes flows keyed by item id
+// (think: network monitoring, the other motivating application in §1); the
+// coordinator continuously knows every item's frequency to within ε·|D| and
+// reports the heavy hitters, while sites hold sketch-sized state instead of
+// per-item counters.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/freq"
+	"repro/internal/stream"
+)
+
+func main() {
+	const (
+		k        = 6
+		eps      = 0.05
+		n        = 200_000
+		universe = 10_000
+		phi      = 0.05 // heavy-hitter threshold
+	)
+
+	// Exact backend: per-item counters, deterministic guarantee, and
+	// direct heavy-hitter enumeration.
+	exactTr, exactSites := freq.New(k, eps, freq.ExactMapper{})
+	// Count-Min backend: the same protocol over O(1/ε) counters per site.
+	cmMapper := freq.NewCMMapper(eps, 2, 77)
+	cmTr, cmSites := freq.New(k, eps, cmMapper)
+
+	simExact := dist.NewSim(exactTr, exactSites)
+	simCM := dist.NewSim(cmTr, cmSites)
+
+	truth := make(map[uint64]int64)
+	var f1 int64
+	gen := stream.NewItemGen(n, universe, 1.3, 0.25, 9)
+	st := stream.NewAssign(gen, stream.NewUniformRandom(k, 31))
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		simExact.Step(u)
+		simCM.Step(u)
+		truth[u.Item] += u.Delta
+		f1 += u.Delta
+	}
+
+	fmt.Printf("flow tracking: %d ops, |U|=%d, k=%d collectors, ε=%v\n", n, universe, k, eps)
+	fmt.Printf("  current |D| = %d (coordinator estimates %d exact-backend, %d CM-backend)\n\n",
+		f1, exactTr.F1(), cmTr.F1())
+
+	// Heavy hitters from the exact backend, verified against ground truth.
+	hh := exactTr.HeavyHitters(phi)
+	type entry struct {
+		item uint64
+		est  int64
+	}
+	var entries []entry
+	for item, est := range hh {
+		entries = append(entries, entry{item, est})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].est > entries[j].est })
+	fmt.Printf("heavy hitters (φ=%v): item, estimated, true, CM point query\n", phi)
+	for _, e := range entries {
+		fmt.Printf("  item %-6d  est %-7d true %-7d CM %-7d\n",
+			e.item, e.est, truth[e.item], cmTr.Frequency(e.item))
+	}
+
+	fmt.Printf("\nresources:\n")
+	fmt.Printf("  exact backend: %d msgs, up to %d counters/site (≤ live items)\n",
+		simExact.Stats().Total(), maxInt(exactTr.SiteLiveCells()))
+	fmt.Printf("  CM backend:    %d msgs, up to %d counters/site (sketch: %d cells, |U|=%d)\n",
+		simCM.Stats().Total(), maxInt(cmTr.SiteLiveCells()), cmMapper.NumCells(), universe)
+}
+
+func maxInt(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

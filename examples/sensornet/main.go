@@ -1,0 +1,97 @@
+// Sensornet: the paper's motivating application (Cormode et al.'s sensor
+// networks, §1). A field of k battery-powered sensors observes targets
+// entering and leaving a region; the base station must always know the
+// count of present targets to within 10%, and every message costs battery.
+//
+// The scenario runs three traffic phases — morning influx (drift up),
+// midday churn (symmetric), evening exodus (drift down) — and compares the
+// radio budget of the deterministic variability tracker, the randomized
+// tracker, and naive forwarding. The non-monotone phases are exactly where
+// pre-variability algorithms had no worst-case story.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/stream"
+	"repro/internal/track"
+)
+
+const (
+	k   = 32
+	eps = 0.1
+)
+
+// trafficDay builds the three-phase stream: each phase is a ±1 walk with a
+// different drift.
+func trafficDay(seed uint64) stream.Stream {
+	morning := stream.BiasedWalk(40_000, 0.6, seed)     // targets arrive
+	midday := stream.RandomWalk(40_000, seed+1)         // churn around a plateau
+	evening := stream.BiasedWalk(40_000, -0.55, seed+2) // targets leave
+	return stream.NewConcat(morning, midday, evening)
+}
+
+func runTracker(name string, build func() (dist.CoordAlgo, []dist.SiteAlgo)) {
+	st := stream.NewAssign(trafficDay(11), stream.NewUniformRandom(k, 99))
+	coord, sites := build()
+	sim := dist.NewSim(coord, sites)
+	exact := core.NewTracker(0)
+	violations := 0
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		sim.Step(u)
+		exact.Update(u.Delta)
+		f := exact.F()
+		if d := abs(f - sim.Estimate()); float64(d) > eps*float64(abs(f)) {
+			violations++
+		}
+	}
+	msgs := sim.Stats().Total()
+	perSensor := float64(msgs) / float64(k)
+	fmt.Printf("  %-12s %9d msgs  (%7.1f per sensor)  guarantee misses: %d/%d steps\n",
+		name, msgs, perSensor, violations, exact.N())
+}
+
+func main() {
+	// Measure the day's variability first: it is what the paper says the
+	// cost must scale with.
+	exact := core.NewTracker(0)
+	st := trafficDay(11)
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		exact.Update(u.Delta)
+	}
+	fmt.Printf("sensor field: k=%d sensors, ε=%v, %d target events over the day\n",
+		k, eps, exact.N())
+	fmt.Printf("peak count ~%d, final count %d, day variability v = %.1f\n\n",
+		40_000*6/10, exact.F(), exact.V())
+
+	fmt.Println("radio budget by algorithm:")
+	runTracker("determin.", func() (dist.CoordAlgo, []dist.SiteAlgo) {
+		return track.NewDeterministic(k, eps)
+	})
+	runTracker("randomized", func() (dist.CoordAlgo, []dist.SiteAlgo) {
+		return track.NewRandomized(k, eps, 5)
+	})
+	runTracker("naive", func() (dist.CoordAlgo, []dist.SiteAlgo) {
+		return track.NewNaive(k)
+	})
+	fmt.Println("\nthe variability trackers' costs follow v, not n: the deterministic")
+	fmt.Println("guarantee holds at every step even through the evening exodus, where")
+	fmt.Println("monotone-only algorithms (CMY/HYZ) cannot run at all.")
+}
+
+func abs(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,109 @@
+package bound
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPartitionMessagesLinearInKAndV(t *testing.T) {
+	if got := PartitionMessages(2, 10); got != 25*2*10+6 {
+		t.Fatalf("PartitionMessages = %v", got)
+	}
+	if PartitionMessages(4, 10) <= PartitionMessages(2, 10) {
+		t.Fatal("not increasing in k")
+	}
+	if PartitionMessages(2, 20) <= PartitionMessages(2, 10) {
+		t.Fatal("not increasing in v")
+	}
+}
+
+func TestDetMessagesDominatesParts(t *testing.T) {
+	k, eps, v := 8, 0.1, 50.0
+	total := DetMessages(k, eps, v)
+	if total < PartitionMessages(k, v) || total < DetInBlockMessages(k, eps, v) {
+		t.Fatal("total below a component")
+	}
+}
+
+func TestRandVsDetScaling(t *testing.T) {
+	// For large k the randomized in-block term (√k/ε) must be far below
+	// the deterministic one (k/ε).
+	k, eps, v := 10000, 0.01, 100.0
+	if RandInBlockMessagesExpected(k, eps, v) >= DetInBlockMessages(k, eps, v) {
+		t.Fatal("randomized in-block bound not smaller at large k")
+	}
+}
+
+func TestCMYMessagesShape(t *testing.T) {
+	// Doubling n adds ~k·log(2)/log(1+ε) messages.
+	k, eps := 5, 0.1
+	d := CMYMessages(k, eps, 2000) - CMYMessages(k, eps, 1000)
+	want := float64(k) * math.Ln2 / math.Log(1.1)
+	if math.Abs(d-want) > 1e-6 {
+		t.Fatalf("doubling increment = %v, want %v", d, want)
+	}
+	if CMYMessages(k, eps, 0) != float64(k) {
+		t.Fatal("n<=0 should cost k")
+	}
+}
+
+func TestHYZBelowCMYForLargeK(t *testing.T) {
+	eps, n := 0.01, int64(1<<20)
+	if HYZMessagesExpected(10000, eps, n) >= CMYMessages(10000, eps, n) {
+		t.Fatal("HYZ bound should be below CMY at large k, small eps")
+	}
+}
+
+func TestSingleSiteMessages(t *testing.T) {
+	got := SingleSiteMessages(0.5, 10, 3)
+	if math.Abs(got-(3*10+3+1)) > 1e-9 {
+		t.Fatalf("SingleSiteMessages = %v", got)
+	}
+}
+
+func TestFreqMessagesScalesWithCells(t *testing.T) {
+	if FreqMessages(4, 0.1, 10, 3) <= FreqMessages(4, 0.1, 10, 1) {
+		t.Fatal("not increasing in cellsPerItem")
+	}
+}
+
+func TestDetSpaceLowerBound(t *testing.T) {
+	if got := DetSpaceLowerBoundBits(1024, 16); math.Abs(got-16*6) > 1e-9 {
+		t.Fatalf("DetSpaceLowerBoundBits = %v, want 96", got)
+	}
+	if DetSpaceLowerBoundBits(10, 0) != 0 || DetSpaceLowerBoundBits(10, 10) != 0 {
+		t.Fatal("degenerate r should give 0")
+	}
+}
+
+func TestRandSpaceLowerBound(t *testing.T) {
+	eps := 0.5
+	v := 2 * 32400 * eps * 5.0 // exponent e^5
+	got := RandSpaceLowerBoundBits(eps, v)
+	want := 5*math.Log2E + math.Log2(0.1)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("RandSpaceLowerBoundBits = %v, want %v", got, want)
+	}
+	if RandSpaceLowerBoundBits(0.5, 1) != 0 {
+		t.Fatal("tiny v should clamp to 0")
+	}
+}
+
+func TestSplitOverheadFactor(t *testing.T) {
+	// H(1) = 1 → factor max(2, 3) = 3; large maxStep → 1 + H grows.
+	if got := SplitOverheadFactor(1); got != 3 {
+		t.Fatalf("factor(1) = %v", got)
+	}
+	if got := SplitOverheadFactor(1000); got <= 3 || got > 10 {
+		t.Fatalf("factor(1000) = %v", got)
+	}
+}
+
+func TestLRVFairCoinShape(t *testing.T) {
+	// Quadrupling n should roughly double the bound (×√4) modulo the log.
+	a := LRVFairCoinMessagesExpected(4, 0.1, 10000)
+	b := LRVFairCoinMessagesExpected(4, 0.1, 40000)
+	if b < 2*a || b > 3*a {
+		t.Fatalf("scaling off: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,130 @@
+// Package core implements the variability stream parameter of Felber &
+// Ostrovsky ("Variability in data streams", PODS 2016, section 2).
+//
+// For an integer function f defined by an update stream f'(t) = f(t)−f(t−1),
+// the f-variability after n steps is
+//
+//	v(n) = Σ_{t=1..n} v'(t),   v'(t) = min{ 1, |f'(t)| / |f(t)| }
+//
+// with the convention that |f'(t)/f(t)| = 1 when f(t) = 0. Variability is
+// the paper's measure of how hard a stream is to track to ε relative error:
+// upper bounds for distributed tracking are O((k/ε)·v) deterministic and
+// O((k+√k/ε)·v) randomized, and the dependence on v is necessary (§4).
+//
+// The package provides an online Tracker, batch helpers, and the closed-form
+// bounds of theorems 2.1, 2.2, and 2.4 used by the experiment harness.
+package core
+
+import "math"
+
+// Tracker computes the variability of a stream online in O(1) time and
+// space per update. The zero value tracks a stream starting at f(0) = 0.
+type Tracker struct {
+	f int64   // current value f(t)
+	n int64   // number of updates seen
+	v float64 // accumulated variability v(n)
+}
+
+// NewTracker returns a Tracker for a stream starting at f(0) = f0.
+// The paper fixes f(0) = 0 "unless stated otherwise"; the lower-bound
+// families of section 4 start at other values.
+func NewTracker(f0 int64) *Tracker { return &Tracker{f: f0} }
+
+// Update consumes the update f'(t) = delta and returns the variability
+// increase v'(t) it caused.
+func (tr *Tracker) Update(delta int64) float64 {
+	tr.f += delta
+	tr.n++
+	vp := VPrime(delta, tr.f)
+	tr.v += vp
+	return vp
+}
+
+// V returns the accumulated variability v(n).
+func (tr *Tracker) V() float64 { return tr.v }
+
+// F returns the current value f(n).
+func (tr *Tracker) F() int64 { return tr.f }
+
+// N returns the number of updates consumed.
+func (tr *Tracker) N() int64 { return tr.n }
+
+// VPrime returns v'(t) = min{1, |delta| / |f(t)|} for a single update, where
+// f is the value *after* the update, per the paper's definition
+// v(n) = Σ min{1, |f'(t)/f(t)|} with the f(t) = 0 case defined as 1.
+func VPrime(delta, f int64) float64 {
+	if f == 0 {
+		return 1
+	}
+	ad, af := abs64(delta), abs64(f)
+	if ad >= af {
+		return 1
+	}
+	return float64(ad) / float64(af)
+}
+
+// Variability returns v(n) for the stream of deltas starting from f(0) = f0.
+func Variability(f0 int64, deltas []int64) float64 {
+	tr := NewTracker(f0)
+	for _, d := range deltas {
+		tr.Update(d)
+	}
+	return tr.V()
+}
+
+// VariabilityOfValues returns the variability of the value sequence
+// f(1..n) (with f(0) = f0), i.e. it derives the deltas from consecutive
+// values. This is the form used for the lower-bound sequence families,
+// which are defined by their values rather than their updates.
+func VariabilityOfValues(f0 int64, values []int64) float64 {
+	v := 0.0
+	prev := f0
+	for _, f := range values {
+		v += VPrime(f-prev, f)
+		prev = f
+	}
+	return v
+}
+
+// Decomposition splits the update mass of a stream into the positive part
+// f+(n) = Σ_{f'(t)>0} f'(t) and the negative part f−(n) = Σ_{f'(t)<0} |f'(t)|,
+// the quantities in the premise of theorem 2.1.
+type Decomposition struct {
+	Plus  int64 // f+(n)
+	Minus int64 // f−(n)
+}
+
+// Decompose computes the positive/negative update mass of a delta sequence.
+func Decompose(deltas []int64) Decomposition {
+	var d Decomposition
+	for _, x := range deltas {
+		if x > 0 {
+			d.Plus += x
+		} else {
+			d.Minus -= x
+		}
+	}
+	return d
+}
+
+// Beta returns the smallest constant β ≥ 1 with f−(n) ≤ β·f(n) for the
+// given final state, or +Inf when f(n) <= 0. It measures how far a stream
+// is from monotone in the sense of theorem 2.1.
+func (d Decomposition) Beta() float64 {
+	f := d.Plus - d.Minus
+	if f <= 0 {
+		return math.Inf(1)
+	}
+	b := float64(d.Minus) / float64(f)
+	if b < 1 {
+		return 1
+	}
+	return b
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+func TestVPrimeDefinition(t *testing.T) {
+	cases := []struct {
+		delta, f int64
+		want     float64
+	}{
+		{1, 1, 1},        // |f'|/|f| = 1
+		{1, 2, 0.5},      // ordinary ratio
+		{-1, 2, 0.5},     // sign of delta irrelevant
+		{1, -2, 0.5},     // sign of f irrelevant
+		{1, 0, 1},        // f = 0 defined as 1
+		{-5, 0, 1},       // f = 0 with big delta
+		{3, 2, 1},        // clamp at 1
+		{0, 5, 0},        // no change, no variability
+		{2, 100, 0.02},   // small relative change
+		{-7, -100, 0.07}, // both negative
+		{100, 1, 1},      // huge jump clamps
+		{1, 1 << 40, 1.0 / float64(int64(1)<<40)}, // very large f
+	}
+	for _, c := range cases {
+		if got := VPrime(c.delta, c.f); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("VPrime(%d, %d) = %v, want %v", c.delta, c.f, got, c.want)
+		}
+	}
+}
+
+func TestVPrimeRange(t *testing.T) {
+	f := func(delta, fv int64) bool {
+		v := VPrime(delta, fv)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrackerMatchesBatch(t *testing.T) {
+	deltas := []int64{1, 1, -1, 1, 1, 1, -2, 3, -1, -1, -1, 5}
+	tr := NewTracker(0)
+	var sum float64
+	for _, d := range deltas {
+		sum += tr.Update(d)
+	}
+	if math.Abs(tr.V()-sum) > 1e-12 {
+		t.Fatalf("V() = %v but sum of VPrime = %v", tr.V(), sum)
+	}
+	if got := Variability(0, deltas); math.Abs(got-tr.V()) > 1e-12 {
+		t.Fatalf("Variability = %v, Tracker = %v", got, tr.V())
+	}
+	if tr.N() != int64(len(deltas)) {
+		t.Fatalf("N = %d", tr.N())
+	}
+	var f int64
+	for _, d := range deltas {
+		f += d
+	}
+	if tr.F() != f {
+		t.Fatalf("F = %d, want %d", tr.F(), f)
+	}
+}
+
+func TestVariabilityOfValuesAgrees(t *testing.T) {
+	f := func(seed uint64) bool {
+		ups := stream.Collect(stream.RandomWalk(300, seed))
+		deltas := make([]int64, len(ups))
+		for i, u := range ups {
+			deltas[i] = u.Delta
+		}
+		vals := stream.Values(ups)
+		a := Variability(0, deltas)
+		b := VariabilityOfValues(0, vals)
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariabilityMonotoneIsLogarithmic(t *testing.T) {
+	// For the +1 stream, v(n) = 1 + H(n) − 1 = Σ_{t=1..n} 1/t = H(n) exactly
+	// (each step t has f(t) = t so v'(t) = 1/t).
+	for _, n := range []int64{1, 10, 100, 10000} {
+		ups := stream.Collect(stream.Monotone(n))
+		deltas := make([]int64, len(ups))
+		for i, u := range ups {
+			deltas[i] = u.Delta
+		}
+		v := Variability(0, deltas)
+		if math.Abs(v-Harmonic(n)) > 1e-9 {
+			t.Fatalf("monotone v(%d) = %v, want H(n) = %v", n, v, Harmonic(n))
+		}
+		if v > MonotoneBound(n) {
+			t.Fatalf("monotone v(%d) = %v exceeds theorem 2.1 bound %v", n, v, MonotoneBound(n))
+		}
+	}
+}
+
+func TestVariabilityFlipIsLinear(t *testing.T) {
+	// The flip stream alternates f = 1, 0, 1, 0, ...; every step has
+	// v'(t) = 1, so v(n) = n — the worst case.
+	ups := stream.Collect(stream.Flip(1000))
+	deltas := make([]int64, len(ups))
+	for i, u := range ups {
+		deltas[i] = u.Delta
+	}
+	if v := Variability(0, deltas); math.Abs(v-1000) > 1e-9 {
+		t.Fatalf("flip v = %v, want 1000", v)
+	}
+}
+
+func TestVariabilityAdditivity(t *testing.T) {
+	// v over a concatenation equals sum of v over the parts when the second
+	// part is tracked starting from the first part's final value.
+	f := func(seed uint64) bool {
+		ups := stream.Collect(stream.RandomWalk(400, seed))
+		deltas := make([]int64, len(ups))
+		for i, u := range ups {
+			deltas[i] = u.Delta
+		}
+		whole := Variability(0, deltas)
+		half := len(deltas) / 2
+		first := Variability(0, deltas[:half])
+		var mid int64
+		for _, d := range deltas[:half] {
+			mid += d
+		}
+		second := Variability(mid, deltas[half:])
+		return math.Abs(whole-(first+second)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariabilityUpperBoundedByN(t *testing.T) {
+	f := func(seed uint64) bool {
+		ups := stream.Collect(stream.RandomWalk(200, seed))
+		deltas := make([]int64, len(ups))
+		for i, u := range ups {
+			deltas[i] = u.Delta
+		}
+		v := Variability(0, deltas)
+		return v >= 0 && v <= float64(len(deltas))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNearlyMonotoneRespectsTheorem21(t *testing.T) {
+	// Generate β-nearly-monotone streams and confirm v(n) stays below the
+	// theorem 2.1 bound computed from the *measured* β.
+	for _, beta := range []float64{1, 2, 4} {
+		ups := stream.Collect(stream.NearlyMonotone(200000, beta, 99))
+		deltas := make([]int64, len(ups))
+		for i, u := range ups {
+			deltas[i] = u.Delta
+		}
+		v := Variability(0, deltas)
+		d := Decompose(deltas)
+		measuredBeta := d.Beta()
+		bound := NearlyMonotoneBound(measuredBeta, d.Plus-d.Minus)
+		if v > bound {
+			t.Fatalf("beta=%v: v = %v exceeds bound %v (measured β=%v)", beta, v, bound, measuredBeta)
+		}
+	}
+}
+
+func TestRandomWalkVariabilityWithinExpectedBound(t *testing.T) {
+	// Average over trials; E[v(n)] must be below the proof's exact partial
+	// sum (a true upper bound on the expectation).
+	const n, trials = 20000, 10
+	var sum float64
+	for s := uint64(0); s < trials; s++ {
+		ups := stream.Collect(stream.RandomWalk(n, s+1))
+		tr := NewTracker(0)
+		for _, u := range ups {
+			tr.Update(u.Delta)
+		}
+		sum += tr.V()
+	}
+	mean := sum / trials
+	bound := RandomWalkBoundExact(n)
+	if mean > bound {
+		t.Fatalf("random walk mean v = %v exceeds proof bound %v", mean, bound)
+	}
+	// And it should be superlogarithmic — well above the monotone bound.
+	if mean < MonotoneBound(n) {
+		t.Fatalf("random walk mean v = %v suspiciously small (monotone bound %v)", mean, MonotoneBound(n))
+	}
+}
+
+func TestBiasedWalkVariabilityWithinBound(t *testing.T) {
+	const n, trials = 50000, 8
+	for _, mu := range []float64{0.5, 0.2, 0.1} {
+		var sum float64
+		for s := uint64(0); s < trials; s++ {
+			ups := stream.Collect(stream.BiasedWalk(n, mu, s+1))
+			tr := NewTracker(0)
+			for _, u := range ups {
+				tr.Update(u.Delta)
+			}
+			sum += tr.V()
+		}
+		mean := sum / trials
+		bound := BiasedWalkBound(n, mu)
+		if mean > bound {
+			t.Fatalf("mu=%v: mean v = %v exceeds theorem 2.4 bound %v", mu, mean, bound)
+		}
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	d := Decompose([]int64{3, -2, 1, -1, 4})
+	if d.Plus != 8 || d.Minus != 3 {
+		t.Fatalf("Decompose = %+v", d)
+	}
+}
+
+func TestBetaEdgeCases(t *testing.T) {
+	if b := (Decomposition{Plus: 10, Minus: 0}).Beta(); b != 1 {
+		t.Fatalf("monotone Beta = %v, want 1 (floor)", b)
+	}
+	if b := (Decomposition{Plus: 10, Minus: 8}).Beta(); math.Abs(b-4) > 1e-12 {
+		t.Fatalf("Beta = %v, want 4", b)
+	}
+	if b := (Decomposition{Plus: 5, Minus: 5}).Beta(); !math.IsInf(b, 1) {
+		t.Fatalf("zero-final Beta = %v, want +Inf", b)
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	if h := Harmonic(0); h != 0 {
+		t.Fatalf("H(0) = %v", h)
+	}
+	if h := Harmonic(1); h != 1 {
+		t.Fatalf("H(1) = %v", h)
+	}
+	if h := Harmonic(4); math.Abs(h-(1+0.5+1.0/3+0.25)) > 1e-12 {
+		t.Fatalf("H(4) = %v", h)
+	}
+	// Asymptotic branch agrees with direct summation at the crossover.
+	direct := 0.0
+	for i := int64(1); i <= 1_000_000; i++ {
+		direct += 1 / float64(i)
+	}
+	asym := math.Log(1e6) + 0.5772156649015329 + 1/(2e6)
+	if math.Abs(direct-asym) > 1e-9 {
+		t.Fatalf("harmonic asymptotic mismatch: %v vs %v", direct, asym)
+	}
+}
+
+func TestSplitCostBounds(t *testing.T) {
+	// Positive split: simulated variability of d unit increments landing at
+	// f must be ≤ (d/f)(1+H(d)).
+	for _, c := range []struct{ d, f int64 }{{5, 10}, {10, 10}, {100, 200}, {3, 1000}} {
+		start := c.f - c.d
+		var sim float64
+		for i := int64(1); i <= c.d; i++ {
+			sim += VPrime(1, start+i)
+		}
+		if bound := SplitCostPositive(c.d, c.f); sim > bound+1e-12 {
+			t.Fatalf("positive split d=%d f=%d: sim %v > bound %v", c.d, c.f, sim, bound)
+		}
+	}
+	// Negative split: d unit decrements from f+d down to f ≥ 1.
+	for _, c := range []struct{ d, f int64 }{{5, 10}, {10, 5}, {100, 50}} {
+		var sim float64
+		for i := int64(0); i < c.d; i++ {
+			sim += VPrime(-1, c.f+c.d-i-1)
+		}
+		if bound := SplitCostNegative(c.d, c.f); sim > bound+1e-12 {
+			t.Fatalf("negative split d=%d f=%d: sim %v > bound %v", c.d, c.f, sim, bound)
+		}
+	}
+}
+
+func TestMonotoneBoundMonotoneInF(t *testing.T) {
+	prev := 0.0
+	for _, fn := range []int64{1, 2, 10, 1000, 1 << 30} {
+		b := MonotoneBound(fn)
+		if b <= prev {
+			t.Fatalf("MonotoneBound not increasing at %d", fn)
+		}
+		prev = b
+	}
+}
+
+func TestBiasedWalkBoundDecreasingInMu(t *testing.T) {
+	n := int64(100000)
+	if BiasedWalkBound(n, 0.1) <= BiasedWalkBound(n, 0.5) {
+		t.Fatal("bound should grow as mu shrinks")
+	}
+	if !math.IsInf(BiasedWalkBound(n, 0), 1) {
+		t.Fatal("mu = 0 should give +Inf")
+	}
+}
+
+func BenchmarkTrackerUpdate(b *testing.B) {
+	tr := NewTracker(0)
+	deltas := []int64{1, -1, 1, 1, -1, 1, 1, 1, -1, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Update(deltas[i%len(deltas)])
+	}
+}
+
+func TestBurstyVariabilityNearMonotone(t *testing.T) {
+	// Rare bursts leave v within a small factor of the monotone baseline:
+	// the graceful-degradation story of the introduction.
+	const n = 200000
+	ups := stream.Collect(stream.Bursty(n, 0.001, 20, 5))
+	tr := NewTracker(0)
+	for _, u := range ups {
+		tr.Update(u.Delta)
+	}
+	mono := Harmonic(n)
+	if tr.V() > 20*mono {
+		t.Fatalf("bursty v = %v far above monotone baseline %v", tr.V(), mono)
+	}
+	if tr.V() <= mono {
+		t.Fatalf("bursty v = %v should exceed the strictly-monotone value", tr.V())
+	}
+}
+
+func TestMeanRevertingVariabilityScalesInverseLevel(t *testing.T) {
+	// v ≈ n/L for a stream hovering at level L: doubling the level should
+	// roughly halve the variability.
+	const n = 200000
+	measure := func(level int64) float64 {
+		ups := stream.Collect(stream.MeanReverting(n, level, 0.5, 9))
+		tr := NewTracker(0)
+		for _, u := range ups {
+			tr.Update(u.Delta)
+		}
+		return tr.V()
+	}
+	v250, v1000 := measure(250), measure(1000)
+	ratio := v250 / v1000
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("v(level=250)/v(level=1000) = %v, want ~4", ratio)
+	}
+}

@@ -1,0 +1,184 @@
+// Package expt is the experiment harness: one function per experiment in
+// DESIGN.md's index (E01–E24), each returning a Table of paper-vs-measured
+// values. The cmd/varbench CLI renders them; bench_test.go at the module
+// root wraps each one in a testing.B benchmark; EXPERIMENTS.md records a
+// full run.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable builds an empty table with the given identity and columns.
+func NewTable(id, title string, columns ...string) *Table {
+	return &Table{ID: id, Title: title, Columns: columns}
+}
+
+// AddRow appends a row; the cell count must match the column count.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("expt: row has %d cells, table %s has %d columns", len(cells), t.ID, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a free-text footnote.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes an aligned text rendering.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table as comma-separated values (no notes).
+func (t *Table) CSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = esc(c)
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+// Config controls experiment scale. Quick mode shrinks stream lengths and
+// trial counts by roughly an order of magnitude so the full suite runs in
+// seconds (used by tests); full mode is what EXPERIMENTS.md records.
+type Config struct {
+	Quick bool
+	Seed  uint64
+}
+
+// scale shrinks n in quick mode.
+func (c Config) scale(n int64) int64 {
+	if c.Quick {
+		n /= 10
+		if n < 1000 {
+			n = 1000
+		}
+	}
+	return n
+}
+
+// trials shrinks a trial count in quick mode.
+func (c Config) trials(n int) int {
+	if c.Quick {
+		n /= 4
+		if n < 3 {
+			n = 3
+		}
+	}
+	return n
+}
+
+// Experiment pairs an ID with its runner.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(Config) *Table
+}
+
+// All returns every experiment in index order.
+func All() []Experiment {
+	return []Experiment{
+		{"E01", "monotone variability (Thm 2.1, β=1)", E01MonotoneVariability},
+		{"E02", "nearly-monotone variability (Thm 2.1)", E02NearlyMonotone},
+		{"E03", "random-walk variability (Thm 2.2)", E03RandomWalk},
+		{"E04", "biased-walk variability (Thm 2.4)", E04BiasedWalk},
+		{"E05", "time partitioning (§3.1)", E05Partitioning},
+		{"E06", "deterministic tracker (§3.3)", E06Deterministic},
+		{"E07", "randomized tracker (§3.4)", E07Randomized},
+		{"E08", "monotone reduction vs CMY/HYZ (§2 remarks)", E08MonotoneReduction},
+		{"E09", "fair-coin input vs LRV (§2 remarks)", E09VsLRV},
+		{"E10", "single-site aggregates (App. I)", E10SingleSite},
+		{"E11", "bulk-update splitting (App. C)", E11LargeUpdates},
+		{"E12", "item frequencies, exact counters (App. H.0.1)", E12FreqExact},
+		{"E13", "item frequencies, Count-Min (App. H.0.2)", E13FreqCM},
+		{"E14", "item frequencies, CR-precis (App. H.0.2)", E14FreqCR},
+		{"E15", "deterministic hard family (Thm 4.1)", E15DetFamily},
+		{"E16", "randomized hard family (Lemmas 4.3/4.4)", E16RandFamily},
+		{"E17", "tracing via transcript replay (App. D)", E17Tracing},
+		{"E18", "overlap chain + Chung bound (App. G)", E18OverlapChain},
+		{"E19", "end-to-end over TCP", E19NetTransport},
+		{"E20", "changepoint tracing summary (App. I meets Thm 4.1)", E20ChangepointSummary},
+		{"E21", "sampled frequency ablation (App. H.0.3)", E21FreqSampledAblation},
+		{"E22", "historical order statistics (§2 remarks, Tao et al.)", E22QuantileHistory},
+		{"E23", "thresholded monitoring (k,f,τ,ε) (§2)", E23Threshold},
+		{"E24", "distributed ranks/quantiles via dyadic decomposition (§5.1)", E24DyadicRank},
+	}
+}
+
+// Find returns the experiment with the given ID, or false.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func f1(x float64) string  { return fmt.Sprintf("%.1f", x) }
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
+func f4(x float64) string  { return fmt.Sprintf("%.4f", x) }
+func g3(x float64) string  { return fmt.Sprintf("%.3g", x) }
+func d(x int64) string     { return fmt.Sprintf("%d", x) }
+func di(x int) string      { return fmt.Sprintf("%d", x) }
+func b(x bool) string      { return fmt.Sprintf("%v", x) }
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -1,0 +1,107 @@
+package expt
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// measureV drains a stream through a variability tracker.
+func measureV(st stream.Stream) (v float64, fn int64, n int64) {
+	tr := core.NewTracker(0)
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		tr.Update(u.Delta)
+	}
+	return tr.V(), tr.F(), tr.N()
+}
+
+// E01MonotoneVariability reproduces theorem 2.1 with β = 1: for the +1
+// stream, v(n) equals the harmonic number H(n) exactly and stays below the
+// proof's O(log f(n)) form.
+func E01MonotoneVariability(cfg Config) *Table {
+	t := NewTable("E01", "monotone streams: v(n) = O(log f(n))",
+		"n", "v(n) measured", "H(n) exact", "Thm2.1 bound", "v/log2(n)")
+	for _, n := range []int64{1_000, 10_000, 100_000, 1_000_000} {
+		n = cfg.scale(n)
+		v, fn, _ := measureV(stream.Monotone(n))
+		t.AddRow(d(n), f3(v), f3(core.Harmonic(n)), f1(core.MonotoneBound(fn)), f3(v/math.Log2(float64(n))))
+	}
+	t.AddNote("paper: v = O(log f(n)) for monotone streams (abstract, Thm 2.1 with β=1)")
+	return t
+}
+
+// E02NearlyMonotone reproduces theorem 2.1: streams with deletion mass
+// f−(n) ≤ β·f(n) have v = O(β·log(β·f)).
+func E02NearlyMonotone(cfg Config) *Table {
+	t := NewTable("E02", "nearly-monotone streams: v = O(β·log(βf))",
+		"β target", "n", "β measured", "v measured", "Thm2.1 bound", "within")
+	n := cfg.scale(300_000)
+	for _, beta := range []float64{1, 2, 4, 8} {
+		ups := stream.Collect(stream.NearlyMonotone(n, beta, cfg.Seed+uint64(beta*10)))
+		deltas := make([]int64, len(ups))
+		for i, u := range ups {
+			deltas[i] = u.Delta
+		}
+		v := core.Variability(0, deltas)
+		dec := core.Decompose(deltas)
+		mb := dec.Beta()
+		bd := core.NearlyMonotoneBound(mb, dec.Plus-dec.Minus)
+		t.AddRow(f1(beta), d(n), f2(mb), f2(v), f1(bd), b(v <= bd))
+	}
+	t.AddNote("bound computed from the measured β and final f(n); 'within' must be true")
+	return t
+}
+
+// E03RandomWalk reproduces theorem 2.2: E[v(n)] = O(√n·log n) for the
+// symmetric ±1 walk. The table sweeps n, averages trials, and compares to
+// the proof's exact partial-sum bound; the fitted power-law exponent of
+// v against n should be ≈ 0.5 (up to the log factor).
+func E03RandomWalk(cfg Config) *Table {
+	t := NewTable("E03", "random walks: E[v(n)] = O(√n·log n)",
+		"n", "trials", "E[v] ± se", "proof bound", "ratio v/(√n·ln n)")
+	trials := cfg.trials(20)
+	var ns, vs []float64
+	for _, n := range []int64{10_000, 40_000, 160_000, 640_000} {
+		n = cfg.scale(n)
+		sample := make([]float64, trials)
+		for i := 0; i < trials; i++ {
+			v, _, _ := measureV(stream.RandomWalk(n, cfg.Seed+uint64(i)+uint64(n)))
+			sample[i] = v
+		}
+		s := stats.Summarize(sample)
+		ref := math.Sqrt(float64(n)) * math.Log(float64(n))
+		t.AddRow(d(n), di(trials), s.String(), f1(core.RandomWalkBoundExact(n)), f3(s.Mean/ref))
+		ns = append(ns, float64(n))
+		vs = append(vs, s.Mean)
+	}
+	exp, r2 := stats.PowerLawExponent(ns, vs)
+	t.AddNote("fitted growth exponent of E[v] vs n: %.3f (R²=%.3f); theory: 0.5 + log slack", exp, r2)
+	return t
+}
+
+// E04BiasedWalk reproduces theorem 2.4: E[v(n)] = O(log(n)/μ) for drifted
+// walks, decreasing in μ.
+func E04BiasedWalk(cfg Config) *Table {
+	t := NewTable("E04", "biased walks: E[v(n)] = O(log(n)/μ)",
+		"μ", "n", "trials", "E[v] ± se", "Thm2.4 bound", "μ·E[v]/ln n")
+	trials := cfg.trials(12)
+	n := cfg.scale(400_000)
+	for _, mu := range []float64{0.5, 0.25, 0.1, 0.05} {
+		sample := make([]float64, trials)
+		for i := 0; i < trials; i++ {
+			v, _, _ := measureV(stream.BiasedWalk(n, mu, cfg.Seed+uint64(i)+uint64(mu*1000)))
+			sample[i] = v
+		}
+		s := stats.Summarize(sample)
+		t.AddRow(g3(mu), d(n), di(trials), s.String(), f1(core.BiasedWalkBound(n, mu)),
+			f3(mu*s.Mean/math.Log(float64(n))))
+	}
+	t.AddNote("the normalized column μ·E[v]/ln n should be roughly constant across μ")
+	return t
+}

@@ -1,0 +1,268 @@
+package freq
+
+import (
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+	"repro/internal/stream"
+	"repro/internal/track"
+)
+
+// This file implements the randomized frequency trackers discussed in
+// appendix H.0.3. The paper obtains O((k/ε)·v) messages deterministically
+// and asks whether O((√k/ε)·v) is possible; the obstacle it identifies is
+// that the HYZ sampling estimator needs the estimate variance at any time
+// t < n to be within a constant of the variance at time n, which deletions
+// break.
+//
+// Two variants make the discussion concrete:
+//
+//   - Sampled (sync): per-cell HYZ A±-copy sampling inside blocks, with the
+//     paper's deterministic end-of-block resynchronization (heavy counters
+//     reported exactly, the rest zeroed). This is correct — the per-block
+//     variance argument of §3.4 applies cell-wise — but the block-end sync
+//     itself costs O(k/ε) messages, which is exactly why it does not beat
+//     the deterministic bound (the paper's closing remark).
+//
+//   - SampledNoSync: the naive extension that drops the block-end sync and
+//     lets sampled estimates carry across blocks. Sampling probabilities
+//     change between blocks, so the unbiased correction −1+1/p mixes
+//     epochs; under churn (deletions), F1 shrinks while stale variance
+//     remains, and the εF1 guarantee degrades — the failure mode H.0.3
+//     predicts. Provided for the E21 ablation; do not use it for real work.
+
+// sampledCell is a site's per-cell state for the sampled trackers.
+type sampledCell struct {
+	net    int64 // true cumulative net count at this site
+	dplus  int64 // in-epoch +1 updates (A+ copy)
+	dminus int64 // in-epoch −1 updates (A− copy)
+}
+
+// sampledSite is the site half of both sampled variants.
+type sampledSite struct {
+	id     int32
+	eps    float64
+	k      int
+	mapper Mapper
+	src    *rng.Xoshiro256
+	sync   bool
+
+	p          float64
+	cellThresh float64
+	cells      map[uint64]*sampledCell
+
+	f1Thresh float64
+	f1Drift  int64
+	f1Delta  int64
+}
+
+func newSampledSite(id int, eps float64, k int, mapper Mapper, src *rng.Xoshiro256, sync bool) *sampledSite {
+	return &sampledSite{
+		id:     int32(id),
+		eps:    eps,
+		k:      k,
+		mapper: mapper,
+		src:    src,
+		sync:   sync,
+		cells:  make(map[uint64]*sampledCell),
+	}
+}
+
+// sampledProb mirrors §3.4: p = min{1, 3/(ε·2^r·√k)}, exact in r = 0 blocks.
+func sampledProb(eps float64, r int64, k int) float64 {
+	if r == 0 {
+		return 1
+	}
+	p := 3 / (eps * math.Pow(2, float64(r)) * math.Sqrt(float64(k)))
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Reset implements track.InBlockSite.
+func (s *sampledSite) Reset(r int64, out dist.Outbox) {
+	s.p = sampledProb(s.eps, r, s.k)
+	s.cellThresh = s.eps * math.Pow(2, float64(r)) / 3
+	s.f1Thresh = s.eps * math.Pow(2, float64(r))
+	if s.f1Thresh < 1 {
+		s.f1Thresh = 1
+	}
+	s.f1Drift = 0
+	s.f1Delta = 0
+	if !s.sync {
+		// The naive variant carries sampled state across blocks.
+		return
+	}
+	for c, st := range s.cells {
+		if st.net == 0 {
+			delete(s.cells, c)
+			continue
+		}
+		if float64(absI64(st.net)) >= s.cellThresh && out != nil {
+			out.Send(dist.Msg{Kind: dist.KindFreqEnd, Site: s.id, Item: c, A: st.net})
+		}
+		st.dplus = 0
+		st.dminus = 0
+	}
+}
+
+// OnUpdate implements track.InBlockSite.
+func (s *sampledSite) OnUpdate(u stream.Update, out dist.Outbox) {
+	s.f1Drift += u.Delta
+	s.f1Delta += u.Delta
+	if float64(absI64(s.f1Delta)) >= s.f1Thresh {
+		out.Send(dist.Msg{Kind: dist.KindDriftReport, Site: s.id, A: s.f1Drift})
+		s.f1Delta = 0
+	}
+	for _, c := range s.mapper.Cells(u.Item) {
+		st := s.cells[c]
+		if st == nil {
+			st = &sampledCell{}
+			s.cells[c] = st
+		}
+		st.net += u.Delta
+		if u.Delta > 0 {
+			st.dplus++
+			if s.src.Bernoulli(s.p) {
+				out.Send(dist.Msg{Kind: dist.KindFreqReport, Site: s.id, Item: c, A: st.dplus, B: 1})
+			}
+		} else {
+			st.dminus++
+			if s.src.Bernoulli(s.p) {
+				out.Send(dist.Msg{Kind: dist.KindFreqReport, Site: s.id, Item: c, A: st.dminus, B: -1})
+			}
+		}
+	}
+}
+
+// LiveCells returns the number of counters at the site.
+func (s *sampledSite) LiveCells() int { return len(s.cells) }
+
+// siteCell keys the coordinator's per-site per-cell estimates.
+type siteCell struct {
+	site int32
+	cell uint64
+}
+
+// sampledCoord is the coordinator half of the sampled variants.
+type sampledCoord struct {
+	k    int
+	eps  float64
+	sync bool
+
+	p       float64
+	base    map[uint64]int64 // exact values from end-of-block reports
+	plusHat map[siteCell]float64
+	minHat  map[siteCell]float64
+	drift   map[uint64]float64 // Σ over sites of (d̂+ − d̂−) per cell
+
+	f1Dhat map[int32]int64
+	f1Sum  int64
+}
+
+func newSampledCoord(k int, eps float64, sync bool) *sampledCoord {
+	return &sampledCoord{
+		k: k, eps: eps, sync: sync,
+		base:    make(map[uint64]int64),
+		plusHat: make(map[siteCell]float64),
+		minHat:  make(map[siteCell]float64),
+		drift:   make(map[uint64]float64),
+		f1Dhat:  make(map[int32]int64),
+	}
+}
+
+// Reset implements track.InBlockCoord.
+func (c *sampledCoord) Reset(r int64) {
+	c.p = sampledProb(c.eps, r, c.k)
+	c.f1Dhat = make(map[int32]int64)
+	c.f1Sum = 0
+	if !c.sync {
+		return
+	}
+	// Fold nothing: zero everything; the heavy reports that follow the
+	// block broadcast re-establish the exact bases.
+	c.base = make(map[uint64]int64)
+	c.plusHat = make(map[siteCell]float64)
+	c.minHat = make(map[siteCell]float64)
+	c.drift = make(map[uint64]float64)
+}
+
+// OnMessage implements track.InBlockCoord.
+func (c *sampledCoord) OnMessage(m dist.Msg) {
+	switch m.Kind {
+	case dist.KindDriftReport:
+		c.f1Sum += m.A - c.f1Dhat[m.Site]
+		c.f1Dhat[m.Site] = m.A
+	case dist.KindFreqEnd:
+		c.base[m.Item] += m.A
+	case dist.KindFreqReport:
+		key := siteCell{m.Site, m.Item}
+		est := float64(m.A) - 1 + 1/c.p
+		if m.B > 0 {
+			c.drift[m.Item] += est - c.plusHat[key]
+			c.plusHat[key] = est
+		} else {
+			c.drift[m.Item] -= est - c.minHat[key]
+			c.minHat[key] = est
+		}
+	}
+}
+
+// Drift implements track.InBlockCoord (F1).
+func (c *sampledCoord) Drift() int64 { return c.f1Sum }
+
+// get reads the merged estimate for a cell.
+func (c *sampledCoord) get(cell uint64) int64 {
+	return c.base[cell] + int64(math.RoundToEven(c.drift[cell]))
+}
+
+// NewSampled builds the appendix-H.0.3 sampled frequency tracker with the
+// deterministic end-of-block resynchronization. Per-query guarantee:
+// P(|f_ℓ − f̂_ℓ| ≤ ε·F1) ≥ 2/3 (per-cell §3.4 analysis), deterministic
+// resync each block.
+func NewSampled(k int, eps float64, mapper Mapper, seed uint64) (*Tracker, []dist.SiteAlgo) {
+	return newSampledTracker(k, eps, mapper, seed, true)
+}
+
+// NewSampledNoSync builds the deliberately broken variant without block-end
+// resynchronization, for the E21 ablation demonstrating the H.0.3 obstacle.
+func NewSampledNoSync(k int, eps float64, mapper Mapper, seed uint64) (*Tracker, []dist.SiteAlgo) {
+	return newSampledTracker(k, eps, mapper, seed, false)
+}
+
+func newSampledTracker(k int, eps float64, mapper Mapper, seed uint64, sync bool) (*Tracker, []dist.SiteAlgo) {
+	if k <= 0 {
+		panic("freq: sampled tracker needs k > 0")
+	}
+	if eps <= 0 || eps >= 1 {
+		panic("freq: sampled tracker needs 0 < eps < 1")
+	}
+	root := rng.New(seed)
+	inner := newSampledCoord(k, eps, sync)
+	t := &Tracker{
+		BlockCoord: track.NewBlockCoord(k, inner),
+		mapper:     mapper,
+		eps:        eps,
+		get:        inner.get,
+		cellsFn: func() map[uint64]int64 {
+			out := make(map[uint64]int64, len(inner.base)+len(inner.drift))
+			for cell := range inner.base {
+				out[cell] = inner.get(cell)
+			}
+			for cell := range inner.drift {
+				out[cell] = inner.get(cell)
+			}
+			return out
+		},
+	}
+	sites := make([]dist.SiteAlgo, k)
+	t.sampledSites = make([]*sampledSite, k)
+	for i := 0; i < k; i++ {
+		fs := newSampledSite(i, eps, k, mapper, root.Fork(uint64(i)), sync)
+		t.sampledSites[i] = fs
+		sites[i] = track.NewBlockSite(i, fs)
+	}
+	return t, sites
+}

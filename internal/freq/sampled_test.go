@@ -1,0 +1,218 @@
+package freq
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// newTestRand builds a test RNG (alias keeps call sites short).
+func newTestRand(seed uint64) *rng.Xoshiro256 { return rng.New(seed) }
+
+// runSampled measures the violation fraction of the εF1 guarantee over
+// periodic full scans, plus the message cost.
+func runSampled(t *testing.T, tr *Tracker, sites []dist.SiteAlgo, k int,
+	n int64, universe int, delProb float64, seed uint64, eps float64) (violFrac float64, msgs int64) {
+	t.Helper()
+	gen := stream.NewItemGen(n, universe, 1.0, delProb, seed)
+	st := stream.NewAssign(gen, stream.NewRoundRobin(k))
+	sim := dist.NewSim(tr, sites)
+	exact := make(map[uint64]int64)
+	var f1, step, checks, viols int64
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		sim.Step(u)
+		exact[u.Item] += u.Delta
+		if exact[u.Item] == 0 {
+			delete(exact, u.Item)
+		}
+		f1 += u.Delta
+		step++
+		if step%101 != 0 || f1 == 0 {
+			continue
+		}
+		for item, f := range exact {
+			checks++
+			if float64(absI64(f-tr.Frequency(item))) > eps*float64(f1)+1e-9 {
+				viols++
+			}
+		}
+	}
+	if checks == 0 {
+		t.Fatal("no checks performed")
+	}
+	return float64(viols) / float64(checks), sim.Stats().Total()
+}
+
+func TestSampledSyncGuarantee(t *testing.T) {
+	// The synced sampled tracker inherits the §3.4 per-cell guarantee:
+	// violation fraction well below 1/3 even under heavy churn.
+	k, eps := 4, 0.2
+	for _, delProb := range []float64{0.1, 0.4} {
+		tr, sites := NewSampled(k, eps, ExactMapper{}, 7)
+		frac, _ := runSampled(t, tr, sites, k, 20000, 300, delProb, 11, eps)
+		if frac > 1.0/3 {
+			t.Errorf("delProb=%v: synced sampled violation fraction %v", delProb, frac)
+		}
+	}
+}
+
+func TestSampledSyncF1Tracking(t *testing.T) {
+	k, eps := 4, 0.2
+	tr, sites := NewSampled(k, eps, ExactMapper{}, 3)
+	gen := stream.NewItemGen(10000, 200, 1.0, 0.25, 5)
+	st := stream.NewAssign(gen, stream.NewRoundRobin(k))
+	sim := dist.NewSim(tr, sites)
+	var f1 int64
+	viol := 0
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		sim.Step(u)
+		f1 += u.Delta
+		if float64(absI64(f1-tr.F1())) > eps*float64(f1)+1e-9 {
+			viol++
+		}
+	}
+	if viol != 0 {
+		t.Fatalf("F1 (deterministic sub-tracker) violated %d times", viol)
+	}
+}
+
+// growShrinkWorkload builds the adversarial shape for the H.0.3 obstacle:
+// F1 grows large (sampling noise is injected at scale ε·F1_max) and then
+// shrinks by 90% (the stale noise now dwarfs the ε·F1_small budget).
+func growShrinkWorkload(grow int64, universe int, seed uint64) []stream.Update {
+	gen := stream.NewItemGen(grow, universe, 1.0, 0, seed)
+	ups := stream.Collect(gen)
+	// Delete 90% of the inserted items, uniformly.
+	present := make([]uint64, 0, grow)
+	for _, u := range ups {
+		present = append(present, u.Item)
+	}
+	src := newTestRand(seed + 1)
+	t := int64(len(ups))
+	for i := int64(0); i < grow*9/10; i++ {
+		idx := src.Intn(len(present))
+		item := present[idx]
+		present[idx] = present[len(present)-1]
+		present = present[:len(present)-1]
+		t++
+		ups = append(ups, stream.Update{T: t, Delta: -1, Item: item})
+	}
+	return ups
+}
+
+// violationFracOver replays a prepared update slice and scans all live
+// items every 101 steps during the final (shrunken) quarter of the run,
+// where the H.0.3 failure mode manifests.
+func violationFracOver(t *testing.T, tr *Tracker, sites []dist.SiteAlgo, k int,
+	ups []stream.Update, eps float64) float64 {
+	t.Helper()
+	st := stream.NewAssign(stream.NewSlice(ups), stream.NewRoundRobin(k))
+	sim := dist.NewSim(tr, sites)
+	exact := make(map[uint64]int64)
+	var f1, step, checks, viols int64
+	lastQuarter := int64(len(ups)) * 3 / 4
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		sim.Step(u)
+		exact[u.Item] += u.Delta
+		if exact[u.Item] == 0 {
+			delete(exact, u.Item)
+		}
+		f1 += u.Delta
+		step++
+		if step < lastQuarter || step%101 != 0 || f1 == 0 {
+			continue
+		}
+		for item, f := range exact {
+			checks++
+			if float64(absI64(f-tr.Frequency(item))) > eps*float64(f1)+1e-9 {
+				viols++
+			}
+		}
+	}
+	if checks == 0 {
+		t.Fatal("no checks performed")
+	}
+	return float64(viols) / float64(checks)
+}
+
+func TestNoSyncDegradesUnderChurn(t *testing.T) {
+	// The H.0.3 ablation: without the block-end resync, stale sampling
+	// noise injected while F1 was large violates the guarantee once F1
+	// shrinks; the synced variant stays in spec on the same workload.
+	k, eps := 8, 0.05
+	ups := growShrinkWorkload(40000, 400, 3)
+
+	syncTr, syncSites := NewSampled(k, eps, ExactMapper{}, 7)
+	syncFrac := violationFracOver(t, syncTr, syncSites, k, ups, eps)
+
+	noTr, noSites := NewSampledNoSync(k, eps, ExactMapper{}, 7)
+	noFrac := violationFracOver(t, noTr, noSites, k, ups, eps)
+
+	if noFrac <= syncFrac {
+		t.Errorf("expected no-sync (%v) to violate more than synced (%v) after shrink", noFrac, syncFrac)
+	}
+	if syncFrac > 1.0/3 {
+		t.Errorf("synced variant itself out of spec: %v", syncFrac)
+	}
+}
+
+func TestSampledConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"k":   func() { NewSampled(0, 0.1, ExactMapper{}, 1) },
+		"eps": func() { NewSampledNoSync(1, 0, ExactMapper{}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSampledHeavyHittersAndCells(t *testing.T) {
+	k, eps := 3, 0.1
+	tr, sites := NewSampled(k, eps, ExactMapper{}, 9)
+	gen := stream.NewItemGen(20000, 50, 1.5, 0.1, 17)
+	st := stream.NewAssign(gen, stream.NewRoundRobin(k))
+	sim := dist.NewSim(tr, sites)
+	exact := make(map[uint64]int64)
+	var f1 int64
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		sim.Step(u)
+		exact[u.Item] += u.Delta
+		f1 += u.Delta
+	}
+	hh := tr.HeavyHitters(0.2)
+	for item, f := range exact {
+		share := float64(f) / float64(f1)
+		if _, in := hh[item]; share >= 0.2+2*eps && !in {
+			t.Errorf("item %d with share %v missing from heavy hitters", item, share)
+		}
+	}
+	for _, c := range tr.SiteLiveCells() {
+		if c <= 0 {
+			t.Error("sampled site reports no live cells")
+		}
+	}
+}

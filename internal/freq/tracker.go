@@ -1,0 +1,244 @@
+package freq
+
+import (
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/stream"
+	"repro/internal/track"
+)
+
+// cellState is a site's view of one counter: its exact local value and the
+// coordinator's mirror of it.
+type cellState struct {
+	count  int64 // f_ic: net updates to cell c seen at this site
+	mirror int64 // the coordinator's current value for this site's share
+}
+
+// freqSite is the in-block site estimator of appendix H. It simultaneously
+// runs the §3.3 deterministic drift condition for F1 (so the coordinator
+// can estimate F1(n) mid-block) and the per-counter δ conditions for item
+// frequencies.
+type freqSite struct {
+	id     int32
+	eps    float64
+	mapper Mapper
+
+	cells map[uint64]*cellState
+
+	cellThresh float64 // ε·2^r/3: per-counter flush and heavy-report threshold
+	f1Thresh   float64 // ε·2^r floored at 1: F1 drift condition (§3.3)
+	f1Drift    int64   // d_i for F1
+	f1Delta    int64   // δ_i for F1
+}
+
+func newFreqSite(id int, eps float64, mapper Mapper) *freqSite {
+	return &freqSite{
+		id:     int32(id),
+		eps:    eps,
+		mapper: mapper,
+		cells:  make(map[uint64]*cellState),
+	}
+}
+
+// Reset implements track.InBlockSite: end the old block and start one with
+// exponent r. Heavy counters are reported exactly; everything else is
+// implicitly zero at the coordinator.
+func (s *freqSite) Reset(r int64, out dist.Outbox) {
+	s.cellThresh = s.eps * math.Pow(2, float64(r)) / 3
+	s.f1Thresh = s.eps * math.Pow(2, float64(r))
+	if s.f1Thresh < 1 {
+		s.f1Thresh = 1
+	}
+	s.f1Drift = 0
+	s.f1Delta = 0
+	for c, st := range s.cells {
+		if st.count == 0 {
+			delete(s.cells, c) // bound site memory to live counters
+			continue
+		}
+		if float64(absI64(st.count)) >= s.cellThresh {
+			if out != nil {
+				out.Send(dist.Msg{Kind: dist.KindFreqEnd, Site: s.id, Item: c, A: st.count})
+			}
+			st.mirror = st.count
+		} else {
+			st.mirror = 0 // the coordinator zeroed all unreported counters
+		}
+	}
+}
+
+// OnUpdate implements track.InBlockSite.
+func (s *freqSite) OnUpdate(u stream.Update, out dist.Outbox) {
+	// F1 drift (deterministic §3.3 condition on the scalar F1).
+	s.f1Drift += u.Delta
+	s.f1Delta += u.Delta
+	if float64(absI64(s.f1Delta)) >= s.f1Thresh {
+		out.Send(dist.Msg{Kind: dist.KindDriftReport, Site: s.id, A: s.f1Drift})
+		s.f1Delta = 0
+	}
+	// Per-counter deltas.
+	for _, c := range s.mapper.Cells(u.Item) {
+		st := s.cells[c]
+		if st == nil {
+			st = &cellState{}
+			s.cells[c] = st
+		}
+		st.count += u.Delta
+		if d := st.count - st.mirror; float64(absI64(d)) >= s.cellThresh {
+			out.Send(dist.Msg{Kind: dist.KindFreqReport, Site: s.id, Item: c, A: d})
+			st.mirror = st.count
+		}
+	}
+}
+
+// LiveCells returns the number of counters currently held at the site, the
+// space quantity appendix H.0.2 is about.
+func (s *freqSite) LiveCells() int { return len(s.cells) }
+
+// freqCoord is the in-block coordinator estimator: a merged counter table
+// (Σ over sites) plus the deterministic F1 drift estimator.
+type freqCoord struct {
+	est map[uint64]int64 // merged Σ_i f̂_ic
+
+	f1Dhat map[int32]int64 // §3.3 d̂_i per site for F1
+	f1Sum  int64
+}
+
+func newFreqCoord() *freqCoord {
+	return &freqCoord{est: make(map[uint64]int64)}
+}
+
+// Reset implements track.InBlockCoord: zero every counter (unreported ones
+// stay zero; heavy ones are re-established by the KindFreqEnd reports that
+// follow the block broadcast) and restart the F1 drift estimator.
+func (c *freqCoord) Reset(r int64) {
+	c.est = make(map[uint64]int64)
+	c.f1Dhat = make(map[int32]int64)
+	c.f1Sum = 0
+}
+
+// OnMessage implements track.InBlockCoord.
+func (c *freqCoord) OnMessage(m dist.Msg) {
+	switch m.Kind {
+	case dist.KindDriftReport:
+		c.f1Sum += m.A - c.f1Dhat[m.Site]
+		c.f1Dhat[m.Site] = m.A
+	case dist.KindFreqReport:
+		c.est[m.Item] += m.A
+	case dist.KindFreqEnd:
+		c.est[m.Item] += m.A
+	}
+}
+
+// Drift implements track.InBlockCoord (the F1 drift).
+func (c *freqCoord) Drift() int64 { return c.f1Sum }
+
+// get reads a merged counter.
+func (c *freqCoord) get(cell uint64) int64 { return c.est[cell] }
+
+// Tracker is the coordinator handle for distributed item-frequency
+// tracking. It implements dist.CoordAlgo (Estimate returns the F1 estimate)
+// and adds per-item queries. It fronts either the deterministic backend
+// (New) or the sampled ones (NewSampled / NewSampledNoSync).
+type Tracker struct {
+	*track.BlockCoord
+	mapper Mapper
+	eps    float64
+
+	get          func(cell uint64) int64 // merged counter read
+	cellsFn      func() map[uint64]int64 // snapshot of all live merged counters
+	sites        []*freqSite
+	sampledSites []*sampledSite
+}
+
+// Frequency returns the coordinator's estimate f̂_ℓ for an item. The
+// guarantee is |f_ℓ − f̂_ℓ| ≤ ε·F1(n) (deterministic for the Exact and
+// CR-precis backends; with probability ≥ 8/9 per query for Count-Min;
+// ≥ 2/3 for the sampled backend).
+func (t *Tracker) Frequency(item uint64) int64 {
+	est := t.mapper.Estimate(t.get, item)
+	if est < 0 {
+		// Counter noise can drive sketched estimates slightly negative;
+		// frequencies are nonnegative by the problem definition.
+		return 0
+	}
+	return est
+}
+
+// F1 returns the coordinator's estimate of |D(n)|.
+func (t *Tracker) F1() int64 { return t.Estimate() }
+
+// HeavyHitters returns the counters whose merged estimate is at least
+// phi·F̂1, as (cell, estimate) pairs. For the Exact backend cells are item
+// ids, so this is the φ-heavy-hitters set (up to ε·F1 frequency error). For
+// sketched backends the cells are sketch counters and callers should verify
+// candidates with Frequency.
+func (t *Tracker) HeavyHitters(phi float64) map[uint64]int64 {
+	thresh := phi * float64(t.F1())
+	out := make(map[uint64]int64)
+	for cell, v := range t.cellsFn() {
+		if float64(v) >= thresh && v > 0 {
+			out[cell] = v
+		}
+	}
+	return out
+}
+
+// SiteLiveCells returns the number of live counters at each site, the space
+// measure of appendix H.0.2.
+func (t *Tracker) SiteLiveCells() []int {
+	if t.sampledSites != nil {
+		out := make([]int, len(t.sampledSites))
+		for i, s := range t.sampledSites {
+			out[i] = s.LiveCells()
+		}
+		return out
+	}
+	out := make([]int, len(t.sites))
+	for i, s := range t.sites {
+		out[i] = s.LiveCells()
+	}
+	return out
+}
+
+// New builds the appendix-H frequency tracker over k sites with error
+// parameter eps and the given counter backend. It returns the coordinator
+// handle and the site algorithms.
+func New(k int, eps float64, mapper Mapper) (*Tracker, []dist.SiteAlgo) {
+	if k <= 0 {
+		panic("freq: New needs k > 0")
+	}
+	if eps <= 0 || eps >= 1 {
+		panic("freq: New needs 0 < eps < 1")
+	}
+	inner := newFreqCoord()
+	t := &Tracker{
+		BlockCoord: track.NewBlockCoord(k, inner),
+		mapper:     mapper,
+		eps:        eps,
+		get:        inner.get,
+		cellsFn: func() map[uint64]int64 {
+			out := make(map[uint64]int64, len(inner.est))
+			for cell, v := range inner.est {
+				out[cell] = v
+			}
+			return out
+		},
+	}
+	sites := make([]dist.SiteAlgo, k)
+	t.sites = make([]*freqSite, k)
+	for i := 0; i < k; i++ {
+		fs := newFreqSite(i, eps, mapper)
+		t.sites[i] = fs
+		sites[i] = track.NewBlockSite(i, fs)
+	}
+	return t, sites
+}
+
+func absI64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,137 @@
+// Package hist provides compact historical summaries for the tracing
+// problem of section 4: answer f̂(t) for any past t to ε relative error.
+//
+// The appendix-D construction (internal/lowerbound.TranscriptSummary) keeps
+// the raw communication transcript. This package keeps only the
+// *changepoints* of the coordinator's estimate — (t, f̂(t)) pairs recorded
+// whenever the estimate changes. Replay is a binary search instead of a
+// message replay, and the size is proportional to the number of estimate
+// changes rather than the number of messages.
+//
+// The two bounds of the paper meet here: the single-site tracker of
+// appendix I changes its estimate at most (1+ε)/ε·v(n) + z(n) times, so its
+// changepoint summary occupies O((v/ε)·log n) bits — matching the
+// Ω((log n/ε)·v) deterministic tracing lower bound of theorem 4.1 up to
+// constant factors. In other words, this summary is essentially optimal for
+// deterministic tracing, and the package makes that concrete and testable.
+package hist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ChangepointSummary records (timestep, estimate) pairs, one per estimate
+// change, and answers historical point queries by predecessor search.
+type ChangepointSummary struct {
+	ts   []int64 // strictly increasing timesteps
+	vals []int64 // estimate adopted at ts[i]
+}
+
+// Observe notes the coordinator's estimate after timestep t. Consecutive
+// equal estimates are coalesced; t must be nondecreasing across calls.
+func (s *ChangepointSummary) Observe(t int64, est int64) {
+	if n := len(s.ts); n > 0 {
+		if t < s.ts[n-1] {
+			panic(fmt.Sprintf("hist: Observe(%d) after %d", t, s.ts[n-1]))
+		}
+		if s.vals[n-1] == est {
+			return
+		}
+		if s.ts[n-1] == t {
+			s.vals[n-1] = est
+			return
+		}
+	} else if est == 0 {
+		// The estimate starts at 0; no changepoint until it moves.
+		return
+	}
+	s.ts = append(s.ts, t)
+	s.vals = append(s.vals, est)
+}
+
+// Query returns the estimate in effect after timestep t (0 before the first
+// changepoint, matching f̂(0) = 0).
+func (s *ChangepointSummary) Query(t int64) int64 {
+	idx := sort.Search(len(s.ts), func(i int) bool { return s.ts[i] > t })
+	if idx == 0 {
+		return 0
+	}
+	return s.vals[idx-1]
+}
+
+// Len returns the number of changepoints stored.
+func (s *ChangepointSummary) Len() int { return len(s.ts) }
+
+// SizeBits returns the raw summary size: two 64-bit words per changepoint.
+func (s *ChangepointSummary) SizeBits() int64 { return int64(len(s.ts)) * 2 * 64 }
+
+// Marshal encodes the summary with delta-varint compression: successive
+// timestep gaps and value deltas are zig-zag varint encoded. For trackers
+// whose estimate moves by small relative steps this is close to the
+// information-theoretic O(log n + log f) bits per changepoint.
+func (s *ChangepointSummary) Marshal() []byte {
+	buf := make([]byte, 0, len(s.ts)*4+10)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(x int64) {
+		n := binary.PutVarint(tmp[:], x)
+		buf = append(buf, tmp[:n]...)
+	}
+	put(int64(len(s.ts)))
+	var prevT, prevV int64
+	for i := range s.ts {
+		put(s.ts[i] - prevT)
+		put(s.vals[i] - prevV)
+		prevT, prevV = s.ts[i], s.vals[i]
+	}
+	return buf
+}
+
+// UnmarshalChangepoints decodes a summary produced by Marshal.
+func UnmarshalChangepoints(data []byte) (*ChangepointSummary, error) {
+	s := &ChangepointSummary{}
+	pos := 0
+	get := func() (int64, error) {
+		v, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("hist: truncated varint at offset %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	count, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if count < 0 || count > int64(len(data)) {
+		return nil, fmt.Errorf("hist: implausible changepoint count %d", count)
+	}
+	var prevT, prevV int64
+	for i := int64(0); i < count; i++ {
+		dt, err := get()
+		if err != nil {
+			return nil, err
+		}
+		dv, err := get()
+		if err != nil {
+			return nil, err
+		}
+		prevT += dt
+		prevV += dv
+		if n := len(s.ts); n > 0 && prevT <= s.ts[n-1] {
+			return nil, fmt.Errorf("hist: non-increasing timestep at entry %d", i)
+		}
+		s.ts = append(s.ts, prevT)
+		s.vals = append(s.vals, prevV)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("hist: %d trailing bytes", len(data)-pos)
+	}
+	return s, nil
+}
+
+// CompressedSizeBits returns the delta-varint encoded size in bits.
+func (s *ChangepointSummary) CompressedSizeBits() int64 {
+	return int64(len(s.Marshal())) * 8
+}

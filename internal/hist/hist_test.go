@@ -1,0 +1,222 @@
+package hist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bound"
+	"repro/internal/dist"
+	"repro/internal/stream"
+	"repro/internal/track"
+)
+
+func TestObserveCoalesces(t *testing.T) {
+	var s ChangepointSummary
+	s.Observe(1, 0) // estimate still 0: no changepoint
+	s.Observe(2, 5)
+	s.Observe(3, 5) // unchanged: coalesced
+	s.Observe(4, 7)
+	s.Observe(4, 8) // same timestep: overwrite
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if got := s.Query(1); got != 0 {
+		t.Fatalf("Query(1) = %d", got)
+	}
+	if got := s.Query(2); got != 5 {
+		t.Fatalf("Query(2) = %d", got)
+	}
+	if got := s.Query(3); got != 5 {
+		t.Fatalf("Query(3) = %d", got)
+	}
+	if got := s.Query(4); got != 8 {
+		t.Fatalf("Query(4) = %d", got)
+	}
+	if got := s.Query(100); got != 8 {
+		t.Fatalf("Query(100) = %d", got)
+	}
+	if got := s.Query(0); got != 0 {
+		t.Fatalf("Query(0) = %d", got)
+	}
+}
+
+func TestObservePanicsOnRegression(t *testing.T) {
+	var s ChangepointSummary
+	s.Observe(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for decreasing t")
+		}
+	}()
+	s.Observe(4, 2)
+}
+
+func TestMarshalRoundtrip(t *testing.T) {
+	var s ChangepointSummary
+	pts := []struct{ t, v int64 }{{1, 3}, {5, -2}, {9, 100000}, {10, 99999}, {500, 0}}
+	for _, p := range pts {
+		s.Observe(p.t, p.v)
+	}
+	got, err := UnmarshalChangepoints(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("roundtrip Len %d != %d", got.Len(), s.Len())
+	}
+	for q := int64(0); q <= 600; q++ {
+		if got.Query(q) != s.Query(q) {
+			t.Fatalf("Query(%d) differs after roundtrip", q)
+		}
+	}
+}
+
+func TestMarshalRoundtripProperty(t *testing.T) {
+	f := func(deltas []int8) bool {
+		var s ChangepointSummary
+		tt, v := int64(0), int64(0)
+		for _, d := range deltas {
+			tt++
+			v += int64(d)
+			s.Observe(tt, v)
+		}
+		got, err := UnmarshalChangepoints(s.Marshal())
+		if err != nil {
+			return false
+		}
+		for q := int64(0); q <= tt+1; q++ {
+			if got.Query(q) != s.Query(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},                             // missing count
+		{0x80},                         // truncated varint
+		{0x04, 0x02},                   // count 2, truncated entries
+		{0x02, 0x02, 0x02, 0x00, 0x00}, // non-increasing timestep (dt=0 on 2nd)
+	}
+	for i, c := range cases {
+		if _, err := UnmarshalChangepoints(c); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Trailing bytes rejected.
+	var s ChangepointSummary
+	s.Observe(1, 1)
+	data := append(s.Marshal(), 0x00)
+	if _, err := UnmarshalChangepoints(data); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestCompressionBeatsRaw(t *testing.T) {
+	// Small deltas → varint encoding far below 128 bits per changepoint.
+	var s ChangepointSummary
+	v := int64(0)
+	for i := int64(1); i <= 10000; i += 2 {
+		v += 3
+		s.Observe(i, v)
+	}
+	if s.CompressedSizeBits() >= s.SizeBits()/4 {
+		t.Fatalf("compression too weak: %d vs raw %d", s.CompressedSizeBits(), s.SizeBits())
+	}
+}
+
+// TestSingleSiteChangepointsMatchTheory is the headline: the changepoint
+// summary of the appendix-I single-site tracker answers every historical
+// query within ε, and its changepoint count respects the (1+ε)/ε·v + z
+// message bound — giving an O((v/ε)·log n)-bit tracing summary against the
+// Ω((log n/ε)·v) lower bound of theorem 4.1.
+func TestSingleSiteChangepointsMatchTheory(t *testing.T) {
+	eps := 0.1
+	n := int64(30000)
+	coord, sites := track.NewSingleSite(eps)
+	sim := dist.NewSim(coord, sites)
+	var s ChangepointSummary
+
+	st := stream.NewAssign(stream.RandomWalk(n, 5), stream.NewSingle(1))
+	exact := make([]int64, 0, n)
+	var f int64
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		sim.Step(u)
+		f += u.Delta
+		exact = append(exact, f)
+		s.Observe(u.T, sim.Estimate())
+	}
+
+	// Historical accuracy at every t.
+	for i, fv := range exact {
+		est := s.Query(int64(i + 1))
+		diff := fv - est
+		if diff < 0 {
+			diff = -diff
+		}
+		af := fv
+		if af < 0 {
+			af = -af
+		}
+		if float64(diff) > eps*float64(af)+1e-9 {
+			t.Fatalf("historical query t=%d: est %d vs exact %d", i+1, est, fv)
+		}
+	}
+
+	// Changepoints = value reports (plus at most one initial), and both
+	// respect the appendix-I bound.
+	msgs := sim.Stats().Total()
+	if int64(s.Len()) > msgs+1 {
+		t.Fatalf("changepoints %d exceed messages %d", s.Len(), msgs)
+	}
+	// Recompute v and crossings for the bound.
+	var v float64
+	var crossings int64
+	var prevSign int64
+	f = 0
+	st2 := stream.RandomWalk(n, 5)
+	for {
+		u, ok := st2.Next()
+		if !ok {
+			break
+		}
+		f += u.Delta
+		af := f
+		if af < 0 {
+			af = -af
+		}
+		if af == 0 {
+			v++
+			crossings++
+		} else if 1 >= af {
+			v++
+		} else {
+			v += 1 / float64(af)
+		}
+		var sg int64
+		if f > 0 {
+			sg = 1
+		} else if f < 0 {
+			sg = -1
+		}
+		if prevSign != 0 && sg != 0 && sg != prevSign {
+			crossings++
+		}
+		if sg != 0 {
+			prevSign = sg
+		}
+	}
+	bd := bound.SingleSiteMessages(eps, v, crossings)
+	if float64(s.Len()) > bd {
+		t.Fatalf("changepoints %d exceed appendix-I bound %v", s.Len(), bd)
+	}
+}

@@ -1,0 +1,120 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Combinadic ranking: a bijection between {0, ..., C(n,r)−1} and the
+// r-element subsets of {1, ..., n}, in colexicographic order. This lets the
+// Index_N reduction of appendix F use the *full* theorem 4.1 family — all
+// C(n,r) flip sets, log2 C(n,r) ≥ r·log2(n/r) bits of input — rather than
+// the 2^bits positional subfamily of IndexSetFromBits.
+
+// BigChoose returns C(n, r) as a big integer.
+func BigChoose(n, r int64) *big.Int {
+	if r < 0 || r > n {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(n, r)
+}
+
+// UnrankSubset returns the idx-th r-subset of {1..n} in colexicographic
+// order (idx in [0, C(n,r))), sorted increasing. It panics if idx is out of
+// range.
+func UnrankSubset(n, r int64, idx *big.Int) []int64 {
+	total := BigChoose(n, r)
+	if idx.Sign() < 0 || idx.Cmp(total) >= 0 {
+		panic(fmt.Sprintf("lowerbound: UnrankSubset index %v outside [0, %v)", idx, total))
+	}
+	rem := new(big.Int).Set(idx)
+	out := make([]int64, r)
+	// Colex unranking: choose the largest element first — the greatest c
+	// with C(c−1, r) ≤ rem — then recurse.
+	for i := r; i >= 1; i-- {
+		// Find the largest c in [i, n] with C(c−1, i) ≤ rem.
+		lo, hi := i, n
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if BigChoose(mid-1, i).Cmp(rem) <= 0 {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		out[i-1] = lo
+		rem.Sub(rem, BigChoose(lo-1, i))
+	}
+	return out
+}
+
+// RankSubset inverts UnrankSubset: given a sorted r-subset of {1..n}, it
+// returns its colexicographic index.
+func RankSubset(s []int64) *big.Int {
+	idx := big.NewInt(0)
+	for i, v := range s {
+		idx.Add(idx, BigChoose(v-1, int64(i+1)))
+	}
+	return idx
+}
+
+// FullIndexGame runs the appendix-F reduction over the complete C(n,r)
+// family: Alice's input idx selects flip set S = UnrankSubset(n, r, idx);
+// the sequence f_S streams through the deterministic tracker (k = 1,
+// ε = 1/m); Bob replays the transcript at every family timestep, classifies
+// each value to its level, reconstructs S, and reranks it.
+//
+// It returns Bob's decoded index and the transcript size in bits. A correct
+// tracker forces decoded == idx, which is why the summary must carry
+// log2 C(n,r) bits (theorem 4.1).
+func FullIndexGame(fam DetFamily, idx *big.Int) (decoded *big.Int, summaryBits int64) {
+	s := UnrankSubset(fam.N, int64(fam.R), idx)
+	vals := fam.Sequence(s)
+
+	estimates, bits := traceSequence(fam, vals)
+
+	// Bob: classify each timestep, then flips are the level changes.
+	var recovered []int64
+	level := fam.M
+	for t := int64(1); t <= fam.N; t++ {
+		got := classify(estimates[t-1], fam.M)
+		if got != level {
+			recovered = append(recovered, t)
+			level = got
+		}
+	}
+	return RankSubset(recovered), bits
+}
+
+// traceSequence streams the value sequence through the k = 1 deterministic
+// tracker with ε = 1/m, recording the transcript, and returns the replayed
+// estimate at each family timestep plus the transcript size in bits.
+func traceSequence(fam DetFamily, vals []int64) ([]float64, int64) {
+	eps := fam.Eps()
+	game := newSingleTrackerGame(eps)
+	// Realize the value sequence as a ±1 stream: climb to f(0) = m, then
+	// ±3 jumps expanded into unit steps.
+	prev := int64(0)
+	climb := func(to int64) {
+		for prev < to {
+			game.step(1)
+			prev++
+		}
+		for prev > to {
+			game.step(-1)
+			prev--
+		}
+	}
+	climb(fam.M)
+	stepAt := make([]int64, len(vals))
+	for i, v := range vals {
+		climb(v)
+		stepAt[i] = game.now
+	}
+	ests := game.summary.QueryAll(game.now)
+	out := make([]float64, len(vals))
+	for i := range vals {
+		out[i] = float64(ests[stepAt[i]-1])
+	}
+	return out, game.summary.SizeBits()
+}

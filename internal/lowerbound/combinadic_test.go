@@ -1,0 +1,149 @@
+package lowerbound
+
+import (
+	"math/big"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestBigChoose(t *testing.T) {
+	cases := []struct {
+		n, r int64
+		want int64
+	}{
+		{5, 2, 10}, {10, 3, 120}, {4, 0, 1}, {4, 4, 1}, {3, 5, 0}, {7, 1, 7},
+	}
+	for _, c := range cases {
+		if got := BigChoose(c.n, c.r); got.Int64() != c.want {
+			t.Errorf("C(%d,%d) = %v, want %d", c.n, c.r, got, c.want)
+		}
+	}
+}
+
+func TestUnrankRankRoundtripExhaustive(t *testing.T) {
+	// Every index of C(6,3) = 20 must roundtrip and produce a distinct,
+	// sorted subset.
+	n, r := int64(6), int64(3)
+	total := BigChoose(n, r).Int64()
+	seen := map[string]bool{}
+	for i := int64(0); i < total; i++ {
+		s := UnrankSubset(n, r, big.NewInt(i))
+		if int64(len(s)) != r {
+			t.Fatalf("idx %d: wrong size %v", i, s)
+		}
+		key := ""
+		for j, v := range s {
+			if v < 1 || v > n {
+				t.Fatalf("idx %d: element %d out of range", i, v)
+			}
+			if j > 0 && s[j] <= s[j-1] {
+				t.Fatalf("idx %d: not strictly increasing: %v", i, s)
+			}
+			key += string(rune('0' + v))
+		}
+		if seen[key] {
+			t.Fatalf("idx %d: duplicate subset %v", i, s)
+		}
+		seen[key] = true
+		if back := RankSubset(s); back.Int64() != i {
+			t.Fatalf("rank(unrank(%d)) = %v", i, back)
+		}
+	}
+	if len(seen) != int(total) {
+		t.Fatalf("enumerated %d subsets, want %d", len(seen), total)
+	}
+}
+
+func TestUnrankRankRoundtripLarge(t *testing.T) {
+	// Random large indices over C(500, 12) (≈ 2^70).
+	n, r := int64(500), int64(12)
+	total := BigChoose(n, r)
+	src := rng.New(7)
+	for i := 0; i < 50; i++ {
+		idx := new(big.Int).Rand(randSource(src), total)
+		s := UnrankSubset(n, r, idx)
+		if back := RankSubset(s); back.Cmp(idx) != 0 {
+			t.Fatalf("roundtrip failed for %v", idx)
+		}
+	}
+}
+
+// bigSource adapts our RNG to math/rand.Source so big.Int.Rand can use it.
+type bigSource struct{ src *rng.Xoshiro256 }
+
+func (b bigSource) Int63() int64    { return int64(b.src.Uint64() >> 1) }
+func (b bigSource) Seed(seed int64) {}
+
+func randSource(src *rng.Xoshiro256) *mrand.Rand { return mrand.New(bigSource{src}) }
+
+func TestUnrankPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	UnrankSubset(5, 2, big.NewInt(10)) // C(5,2) = 10, so 10 is out of range
+}
+
+func TestFullIndexGameRoundtrip(t *testing.T) {
+	// The complete-family reduction: random big indices decode exactly.
+	fam := DetFamily{M: 8, N: 256, R: 8}
+	total := BigChoose(fam.N, int64(fam.R))
+	src := rng.New(11)
+	infoBits := fam.InfoBound()
+	for i := 0; i < 5; i++ {
+		idx := new(big.Int).Rand(randSource(src), total)
+		decoded, bits := FullIndexGame(fam, idx)
+		if decoded.Cmp(idx) != 0 {
+			t.Fatalf("decoded %v, want %v", decoded, idx)
+		}
+		if float64(bits) < infoBits {
+			t.Fatalf("summary %d bits below family entropy %v — information can't compress", bits, infoBits)
+		}
+	}
+}
+
+func TestFullIndexGameEdgeIndices(t *testing.T) {
+	fam := DetFamily{M: 8, N: 128, R: 4}
+	total := BigChoose(fam.N, int64(fam.R))
+	last := new(big.Int).Sub(total, big.NewInt(1))
+	for _, idx := range []*big.Int{big.NewInt(0), big.NewInt(1), last} {
+		decoded, _ := FullIndexGame(fam, idx)
+		if decoded.Cmp(idx) != 0 {
+			t.Fatalf("edge index %v decoded as %v", idx, decoded)
+		}
+	}
+}
+
+func TestRankSubsetProperty(t *testing.T) {
+	// rank is strictly monotone in colex order for random subset pairs.
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n, r := int64(40), int64(5)
+		total := BigChoose(n, r)
+		a := new(big.Int).Rand(randSource(src), total)
+		b := new(big.Int).Rand(randSource(src), total)
+		sa := UnrankSubset(n, r, a)
+		sb := UnrankSubset(n, r, b)
+		// colex comparison: larger max element (breaking ties inward)
+		// must match index order.
+		cmp := 0
+		for i := r - 1; i >= 0; i-- {
+			if sa[i] != sb[i] {
+				if sa[i] > sb[i] {
+					cmp = 1
+				} else {
+					cmp = -1
+				}
+				break
+			}
+		}
+		return cmp == a.Cmp(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

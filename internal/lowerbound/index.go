@@ -1,0 +1,105 @@
+package lowerbound
+
+import (
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/stream"
+	"repro/internal/track"
+)
+
+// This file is the Index_N reduction of appendices E and F made executable:
+// Alice's input bits select a sequence from a deterministically enumerable
+// hard family; she runs an ε-accurate tracker over it and sends the
+// resulting summary (here: the communication transcript); Bob answers
+// historical queries against the summary and decodes every bit. That a
+// correct tracker lets Bob recover arbitrary inputs is exactly why the
+// summary must be Ω(family entropy) bits.
+
+// IndexGame runs the reduction end to end for the theorem 4.1 family:
+//
+//  1. Alice encodes her `bits`-bit input x as an index set S via
+//     DetFamily.IndexSetFromBits and materializes the sequence f_S.
+//  2. The sequence is streamed through the deterministic §3.3 tracker
+//     (k = 1) with ε = 1/m, recording the transcript summary.
+//  3. Bob replays the summary, queries each probe position, and decodes x'.
+//
+// It returns Bob's decoded input and the summary size in bits.
+func IndexGame(fam DetFamily, x uint64, bits int) (decoded uint64, summaryBits int64) {
+	eps := fam.Eps()
+	s := fam.IndexSetFromBits(x, bits)
+	vals := fam.Sequence(s)
+
+	// Build the ±1 update stream realizing the value sequence: climb to
+	// f(0) = m first (the family starts at m, our streams at 0), then ±3
+	// jumps expanded to unit steps.
+	var deltas []int64
+	prev := int64(0)
+	climb := func(to int64) {
+		for prev < to {
+			deltas = append(deltas, 1)
+			prev++
+		}
+		for prev > to {
+			deltas = append(deltas, -1)
+			prev--
+		}
+	}
+	climb(fam.M)
+	// warmup length: every query position will be offset by this much.
+	warm := int64(len(deltas))
+	stepStart := make([]int64, len(vals)) // stream timestep at which vals[t] is reached
+	for i, v := range vals {
+		climb(v)
+		stepStart[i] = int64(len(deltas))
+	}
+
+	ups := make([]stream.Update, len(deltas))
+	for i, d := range deltas {
+		ups[i] = stream.Update{T: int64(i + 1), Site: 0, Delta: d}
+	}
+
+	coordFactory := func() dist.CoordAlgo {
+		c, _ := track.NewDeterministic(1, eps)
+		return c
+	}
+	coord, sites := track.NewDeterministic(1, eps)
+	sim := dist.NewSim(coord, sites)
+	summary := NewTranscriptSummary(coordFactory)
+	sim.Recorder = summary.Recorder()
+	for _, u := range ups {
+		sim.Step(u)
+	}
+
+	decoded = fam.DecodeBits(func(t int64) float64 {
+		// Query the stream timestep at which the family's time t has been
+		// fully realized.
+		return float64(summary.Query(stepStart[t-1]))
+	}, bits)
+	_ = warm
+	return decoded, summary.SizeBits()
+}
+
+// StreamVariability returns the variability of the ±1 stream realizing a
+// family sequence, including the initial climb — the cost side of the
+// reduction (appendix C bounds it within O(log m) of the sequence's own
+// variability).
+func StreamVariability(fam DetFamily, s []int64) float64 {
+	vals := fam.Sequence(s)
+	tr := core.NewTracker(0)
+	prev := int64(0)
+	climb := func(to int64) {
+		for prev < to {
+			tr.Update(1)
+			prev++
+		}
+		for prev > to {
+			tr.Update(-1)
+			prev--
+		}
+	}
+	climb(fam.M)
+	for _, v := range vals {
+		climb(v)
+	}
+	return tr.V()
+}

@@ -1,0 +1,370 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/rng"
+	"repro/internal/stream"
+	"repro/internal/track"
+)
+
+func TestDetFamilySequenceLevels(t *testing.T) {
+	fam := DetFamily{M: 5, N: 20, R: 4}
+	s := []int64{3, 7, 11, 15}
+	vals := fam.Sequence(s)
+	for i, v := range vals {
+		if v != 5 && v != 8 {
+			t.Fatalf("vals[%d] = %d, want 5 or 8", i, v)
+		}
+	}
+	// Check the flip pattern: before t=3 at m, [3,7) at m+3, etc.
+	want := []int64{5, 5, 8, 8, 8, 8, 5, 5, 5, 5, 8, 8, 8, 8, 5, 5, 5, 5, 5, 5}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("vals[%d] = %d, want %d", i, vals[i], want[i])
+		}
+	}
+}
+
+func TestDetFamilyUniqueSequences(t *testing.T) {
+	// Different index sets must give different sequences (theorem E.1).
+	fam := DetFamily{M: 4, N: 12, R: 2}
+	sets := [][]int64{{1, 2}, {1, 3}, {2, 3}, {4, 9}, {4, 10}, {5, 9}}
+	seen := map[string]bool{}
+	for _, s := range sets {
+		vals := fam.Sequence(s)
+		key := ""
+		for _, v := range vals {
+			key += string(rune('0' + v))
+		}
+		if seen[key] {
+			t.Fatalf("duplicate sequence for set %v", s)
+		}
+		seen[key] = true
+	}
+}
+
+func TestDetFamilyVariabilityClosedForm(t *testing.T) {
+	// Measured variability of the value sequence must equal the theorem's
+	// closed form for even r. (The closed form needs m ≥ 3: for m = 2 the
+	// down-flip ratio 3/m = 1.5 is clipped by the min{1,·} in the
+	// variability definition, while theorem 4.1 uses the unclipped sum.)
+	for _, m := range []int64{3, 5, 10} {
+		fam := DetFamily{M: m, N: 1000, R: 8}
+		s := []int64{10, 100, 200, 300, 500, 600, 800, 900}
+		vals := fam.Sequence(s)
+		got := core.VariabilityOfValues(m, vals)
+		want := fam.TheoremVariability(8)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("m=%d: variability %v, closed form %v", m, got, want)
+		}
+		if math.Abs(fam.Variability(8)-want) > 1e-9 {
+			t.Errorf("m=%d: Variability(8) = %v, want %v", m, fam.Variability(8), want)
+		}
+	}
+}
+
+func TestDetFamilyDistinguishable(t *testing.T) {
+	if (DetFamily{M: 2}).Distinguishable() {
+		// ε = 1/2: bands are m±1 and (m+3)±(1+3/m); for m=2 they overlap
+		// for real estimates.
+		t.Fatal("m=2 should not be real-value distinguishable")
+	}
+	if !(DetFamily{M: 4}).Distinguishable() {
+		t.Fatal("m=4 should be distinguishable")
+	}
+}
+
+func TestLogChoose2(t *testing.T) {
+	// C(10, 3) = 120 → log2 ≈ 6.9069.
+	if got := LogChoose2(10, 3); math.Abs(got-math.Log2(120)) > 1e-9 {
+		t.Fatalf("LogChoose2(10,3) = %v", got)
+	}
+	if !math.IsInf(LogChoose2(5, 9), -1) {
+		t.Fatal("r > n should give -Inf")
+	}
+	// Theorem's estimate: C(n,r) ≥ (n/r)^r.
+	n, r := int64(1000), int64(20)
+	if LogChoose2(n, r) < float64(r)*math.Log2(float64(n)/float64(r)) {
+		t.Fatal("binomial bound below (n/r)^r estimate")
+	}
+}
+
+func TestIndexSetFromBitsDistinctIncreasing(t *testing.T) {
+	fam := DetFamily{M: 8, N: 1 << 12, R: 16}
+	for _, x := range []uint64{0, 1, 0xFFFF, 0xA5A5} {
+		s := fam.IndexSetFromBits(x, 16)
+		for i := 1; i < len(s); i++ {
+			if s[i] <= s[i-1] {
+				t.Fatalf("x=%x: set not increasing at %d: %v", x, i, s)
+			}
+		}
+		if s[len(s)-1] > fam.N {
+			t.Fatalf("x=%x: position %d beyond n", x, s[len(s)-1])
+		}
+	}
+	// Different inputs → different sets.
+	a := fam.IndexSetFromBits(3, 16)
+	b := fam.IndexSetFromBits(5, 16)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different inputs produced identical index sets")
+	}
+}
+
+func TestDecodeBitsExactQueries(t *testing.T) {
+	// With exact queries, decoding must invert encoding for every input.
+	fam := DetFamily{M: 8, N: 1 << 10, R: 8}
+	for _, x := range []uint64{0, 1, 0x5A, 0xFF, 0x81} {
+		s := fam.IndexSetFromBits(x, 8)
+		vals := fam.Sequence(s)
+		got := fam.DecodeBits(func(t int64) float64 { return float64(vals[t-1]) }, 8)
+		if got != x {
+			t.Fatalf("decode(encode(%#x)) = %#x", x, got)
+		}
+	}
+}
+
+func TestDecodeBitsNoisyQueries(t *testing.T) {
+	// Decoding must survive ε-relative noise for m large enough that the
+	// bands separate (ε·m + ε·(m+3) < 3 needs m > 3; nearest-level
+	// classification needs error < 1.5, i.e. 1 + 3/m < 1.5 → m > 6).
+	fam := DetFamily{M: 8, N: 1 << 10, R: 8}
+	eps := fam.Eps()
+	src := rng.New(5)
+	for _, x := range []uint64{0x3C, 0xC3, 0x01} {
+		s := fam.IndexSetFromBits(x, 8)
+		vals := fam.Sequence(s)
+		got := fam.DecodeBits(func(t int64) float64 {
+			noise := (2*src.Float64() - 1) * eps * float64(vals[t-1])
+			return float64(vals[t-1]) + noise
+		}, 8)
+		if got != x {
+			t.Fatalf("noisy decode(%#x) = %#x", x, got)
+		}
+	}
+}
+
+func TestIndexGameEndToEnd(t *testing.T) {
+	// The full reduction: tracker summary → Bob decodes Alice's input.
+	fam := DetFamily{M: 8, N: 1 << 10, R: 16}
+	for _, x := range []uint64{0, 0xFFFF, 0x1234, 0xBEEF} {
+		decoded, bits := IndexGame(fam, x, 16)
+		if decoded != x {
+			t.Fatalf("IndexGame decoded %#x, want %#x", decoded, x)
+		}
+		if bits <= 0 {
+			t.Fatal("summary has no size")
+		}
+	}
+}
+
+func TestRandFamilyParameters(t *testing.T) {
+	rf := RandFamily{Eps: 0.25, V: 60, N: 20000}
+	if rf.M() != 4 {
+		t.Fatalf("M = %d", rf.M())
+	}
+	wantP := 60.0 / (6 * 0.25 * 20000)
+	if math.Abs(rf.SwitchProb()-wantP) > 1e-12 {
+		t.Fatalf("SwitchProb = %v, want %v", rf.SwitchProb(), wantP)
+	}
+	if math.Abs(rf.ExpectedSwitches()-wantP*20000) > 1e-9 {
+		t.Fatalf("ExpectedSwitches = %v", rf.ExpectedSwitches())
+	}
+}
+
+func TestRandFamilySequenceLevels(t *testing.T) {
+	rf := RandFamily{Eps: 0.2, V: 50, N: 5000}
+	m := rf.M()
+	s := rf.Sequence(rng.New(3))
+	switches := Switches(m, s)
+	for i, v := range s {
+		if v != m && v != m+3 {
+			t.Fatalf("s[%d] = %d", i, v)
+		}
+	}
+	// Switch count should be near p·n (binomial, ±5σ).
+	mean := rf.ExpectedSwitches()
+	sd := math.Sqrt(mean)
+	if math.Abs(float64(switches)-mean) > 5*sd+3 {
+		t.Fatalf("switches = %d, want ~%v", switches, mean)
+	}
+}
+
+func TestOverlapAndMatch(t *testing.T) {
+	f := []int64{4, 4, 7, 7, 4}
+	g := []int64{4, 7, 7, 4, 4}
+	// eps = 0.25: |4−7| = 3 > 0.25·7 = 1.75 → positions differ unless equal.
+	if got := Overlap(f, g, 0.25); got != 3 {
+		t.Fatalf("Overlap = %d, want 3", got)
+	}
+	// Threshold is ⌈6n/10⌉ = 3 for n = 5, so 3 overlaps match.
+	if !Match(f, g, 0.25) {
+		t.Fatal("3/5 overlap should meet the ⌈6n/10⌉ = 3 threshold")
+	}
+}
+
+func TestMatchThresholdBoundary(t *testing.T) {
+	// Overlap exactly 6n/10 must count as a match.
+	n := 10
+	f := make([]int64, n)
+	g := make([]int64, n)
+	for i := range f {
+		f[i] = 4
+		if i < 6 {
+			g[i] = 4
+		} else {
+			g[i] = 7
+		}
+	}
+	if !Match(f, g, 0.25) {
+		t.Fatal("overlap 6/10 should match")
+	}
+	g[5] = 7
+	if Match(f, g, 0.25) {
+		t.Fatal("overlap 5/10 should not match")
+	}
+}
+
+func TestRandFamilyNoMatchesAtScale(t *testing.T) {
+	// At a comfortable operating point, sampled members should pairwise
+	// not match and mostly satisfy the variability budget (lemma 4.4).
+	rf := RandFamily{Eps: 0.25, V: 400, N: 30000}
+	res := rf.Build(25, 7)
+	if res.MatchingPairs != 0 {
+		t.Fatalf("%d matching pairs among %d members", res.MatchingPairs, len(res.Sequences))
+	}
+	if res.Discarded > 25/2 {
+		t.Fatalf("too many discarded for variability: %d", res.Discarded)
+	}
+	if len(res.Sequences) < 12 {
+		t.Fatalf("family too small after filtering: %d", len(res.Sequences))
+	}
+}
+
+func TestRandFamilyVariabilityBudget(t *testing.T) {
+	rf := RandFamily{Eps: 0.25, V: 400, N: 30000}
+	res := rf.Build(20, 11)
+	m := rf.M()
+	for i, s := range res.Sequences {
+		if v := core.VariabilityOfValues(m, s); v > rf.V {
+			t.Fatalf("retained sequence %d has variability %v > %v", i, v, rf.V)
+		}
+	}
+}
+
+func TestSpaceBoundBitsPositiveAtTheoremScale(t *testing.T) {
+	// The bound is positive once v/(2·32400·ε) exceeds ln 10.
+	rf := RandFamily{Eps: 0.5, V: 0.5 * 2 * 32400 * 4, N: 10}
+	if rf.SpaceBoundBits() <= 0 {
+		t.Fatal("space bound should be positive at theorem scale")
+	}
+	small := RandFamily{Eps: 0.5, V: 1, N: 10}
+	if small.SpaceBoundBits() != 0 {
+		t.Fatal("tiny v should clamp to 0 bits")
+	}
+}
+
+func TestTranscriptSummaryTracesDeterministicTracker(t *testing.T) {
+	// Appendix D: the transcript summary answers every historical query
+	// within ε — because the live coordinator did.
+	k, eps := 3, 0.1
+	coord, sites := track.NewDeterministic(k, eps)
+	sim := dist.NewSim(coord, sites)
+	summary := NewTranscriptSummary(func() dist.CoordAlgo {
+		c, _ := track.NewDeterministic(k, eps)
+		return c
+	})
+	sim.Recorder = summary.Recorder()
+
+	n := int64(20000)
+	st := stream.NewAssign(stream.BiasedWalk(n, 0.2, 9), stream.NewRoundRobin(k))
+	exact := make([]int64, n)
+	var f int64
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		sim.Step(u)
+		f += u.Delta
+		exact[u.T-1] = f
+	}
+
+	// Dense scan via QueryAll.
+	ests := summary.QueryAll(n)
+	for i := range ests {
+		fv := exact[i]
+		diff := fv - ests[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		af := fv
+		if af < 0 {
+			af = -af
+		}
+		if float64(diff) > eps*float64(af)+1e-9 {
+			t.Fatalf("historical query t=%d: est %d vs exact %d", i+1, ests[i], fv)
+		}
+	}
+	// Spot-check random-access Query agrees with QueryAll.
+	src := rng.New(1)
+	for i := 0; i < 50; i++ {
+		q := src.Int63n(n) + 1
+		if got := summary.Query(q); got != ests[q-1] {
+			t.Fatalf("Query(%d) = %d, QueryAll = %d", q, got, ests[q-1])
+		}
+	}
+}
+
+func TestTranscriptSummarySizeTracksCommunication(t *testing.T) {
+	k, eps := 2, 0.2
+	coord, sites := track.NewDeterministic(k, eps)
+	sim := dist.NewSim(coord, sites)
+	summary := NewTranscriptSummary(func() dist.CoordAlgo {
+		c, _ := track.NewDeterministic(k, eps)
+		return c
+	})
+	sim.Recorder = summary.Recorder()
+	st := stream.NewAssign(stream.RandomWalk(5000, 2), stream.NewRoundRobin(k))
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		sim.Step(u)
+	}
+	// Summary records exactly the coordinator-bound messages.
+	if int64(summary.Len()) != sim.Stats().SiteToCoord {
+		t.Fatalf("summary has %d entries, SiteToCoord = %d", summary.Len(), sim.Stats().SiteToCoord)
+	}
+	if summary.SizeBits() != int64(summary.Len())*(dist.MsgSize+8)*8 {
+		t.Fatalf("SizeBits inconsistent")
+	}
+}
+
+func TestStreamVariabilityWithinSequencePlusClimb(t *testing.T) {
+	fam := DetFamily{M: 8, N: 512, R: 8}
+	s := fam.IndexSetFromBits(0xA5, 8)
+	sv := StreamVariability(fam, s)
+	// The stream variability = climb (harmonic ~ H(8)) + per-jump unit
+	// costs; it must exceed the sequence variability but stay within the
+	// appendix-C overhead factor (1 + H(3)) plus the climb.
+	seqV := core.VariabilityOfValues(fam.M, fam.Sequence(s))
+	if sv <= seqV {
+		t.Fatalf("stream variability %v not above sequence variability %v", sv, seqV)
+	}
+	climb := core.Harmonic(fam.M)
+	overhead := (1 + core.Harmonic(3))
+	if sv > climb+overhead*seqV+1e-9 {
+		t.Fatalf("stream variability %v exceeds appendix-C bound %v", sv, climb+overhead*seqV)
+	}
+}

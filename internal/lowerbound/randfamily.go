@@ -1,0 +1,160 @@
+package lowerbound
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// This file implements the lemma 4.4 construction: random sequences over
+// the levels m = ⌈1/ε⌉ and m+3 that switch independently with probability
+// p = v/(6εn) per step. With v ≥ 32400·ε·ln C and n > 3v/ε, a family of
+// e^Ω(v/ε) such sequences pairwise does not "match" (overlap < 6n/10) and
+// (after discarding a minority) every member has variability ≤ v — the hard
+// family behind the randomized Ω(v/ε) space bound of theorem 4.2.
+
+// RandFamily holds the construction parameters.
+type RandFamily struct {
+	Eps float64 // error parameter; levels are m = round(1/ε) and m+3
+	V   float64 // variability budget
+	N   int64   // sequence length
+}
+
+// M returns the low level m = round(1/ε).
+func (rf RandFamily) M() int64 {
+	m := int64(math.Round(1 / rf.Eps))
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// SwitchProb returns p = v/(6εn).
+func (rf RandFamily) SwitchProb() float64 {
+	p := rf.V / (6 * rf.Eps * float64(rf.N))
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// Sequence draws one random member: f(0) uniform over {m, m+3}, then each
+// step switches with probability p.
+func (rf RandFamily) Sequence(src *rng.Xoshiro256) []int64 {
+	m := rf.M()
+	p := rf.SwitchProb()
+	f := m
+	if src.Bool() {
+		f = m + 3
+	}
+	vals := make([]int64, rf.N)
+	for t := int64(0); t < rf.N; t++ {
+		if src.Bernoulli(p) {
+			f = (2*m + 3) - f
+		}
+		vals[t] = f
+	}
+	return vals
+}
+
+// Overlap counts the positions t with |f(t) − g(t)| ≤ ε·max{f(t), g(t)},
+// the overlap measure of section 4.2. The sequences must have equal length.
+func Overlap(f, g []int64, eps float64) int64 {
+	var count int64
+	for i := range f {
+		mx := f[i]
+		if g[i] > mx {
+			mx = g[i]
+		}
+		diff := f[i] - g[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) <= eps*float64(mx) {
+			count++
+		}
+	}
+	return count
+}
+
+// Match reports whether two sequences overlap in at least (6/10)·n
+// positions, the matching threshold of section 4.2.
+func Match(f, g []int64, eps float64) bool {
+	n := int64(len(f))
+	return Overlap(f, g, eps) >= (6*n+9)/10
+}
+
+// Switches counts the level changes in a sequence (including a possible
+// change at t = 1 relative to f(0), which the caller supplies).
+func Switches(f0 int64, vals []int64) int64 {
+	var count int64
+	prev := f0
+	for _, v := range vals {
+		if v != prev {
+			count++
+		}
+		prev = v
+	}
+	return count
+}
+
+// BuildResult reports what a family construction produced.
+type BuildResult struct {
+	// Sequences are the retained members (variability ≤ V).
+	Sequences [][]int64
+	// Discarded counts candidates dropped for exceeding the variability
+	// budget (lemma 4.4 discards these; whp they are a small minority).
+	Discarded int
+	// MatchingPairs counts retained pairs that match (should be 0 for the
+	// family to be hard; the lemma guarantees this whp).
+	MatchingPairs int
+}
+
+// Build samples `size` candidate sequences, discards those with variability
+// above V, and counts matching pairs among the survivors.
+func (rf RandFamily) Build(size int, seed uint64) BuildResult {
+	src := rng.New(seed)
+	m := rf.M()
+	var res BuildResult
+	for i := 0; i < size; i++ {
+		s := rf.Sequence(src.Fork(uint64(i)))
+		if core.VariabilityOfValues(m, s) > rf.V {
+			res.Discarded++
+			continue
+		}
+		res.Sequences = append(res.Sequences, s)
+	}
+	for i := 0; i < len(res.Sequences); i++ {
+		for j := i + 1; j < len(res.Sequences); j++ {
+			if Match(res.Sequences[i], res.Sequences[j], rf.Eps) {
+				res.MatchingPairs++
+			}
+		}
+	}
+	return res
+}
+
+// FamilySizeBound returns the lemma 4.4 family size (1/10)·e^{v/(2·32400·ε)}
+// for a given universal constant already folded in; it is the e^Ω(v/ε)
+// lower bound on |F| and hence (via lemma 4.3) the Ω(v/ε) space bound.
+func (rf RandFamily) FamilySizeBound() float64 {
+	return 0.1 * math.Exp(rf.V/(2*32400*rf.Eps))
+}
+
+// SpaceBoundBits returns the theorem 4.2 space lower bound in bits:
+// log2 |F| = Ω(v/ε).
+func (rf RandFamily) SpaceBoundBits() float64 {
+	b := math.Log2(rf.FamilySizeBound())
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// ExpectedSwitches returns the mean number of level switches p·n = v/(6ε);
+// each switch adds at most 3/m ≈ 3ε variability, which is how lemma 4.4
+// bounds the variability of most members by v/2·(≤2 factor slack).
+func (rf RandFamily) ExpectedSwitches() float64 {
+	return rf.SwitchProb() * float64(rf.N)
+}

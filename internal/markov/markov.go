@@ -1,0 +1,167 @@
+// Package markov provides the finite Markov chain machinery behind the
+// randomized lower bound of the paper (appendix G): chain simulation,
+// stationary distributions, (1/8)-mixing times, and the
+// Chung-Lam-Liu-Mitzenmacher Chernoff-Hoeffding bound for Markov-dependent
+// sums (their theorem 3.1, the paper's fact G.2).
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Chain is a finite ergodic Markov chain given by a row-stochastic
+// transition matrix P: P[i][j] = P(next = j | current = i).
+type Chain struct {
+	p [][]float64
+}
+
+// NewChain validates and wraps a transition matrix. Rows must sum to 1
+// within a small tolerance.
+func NewChain(p [][]float64) (*Chain, error) {
+	n := len(p)
+	if n == 0 {
+		return nil, fmt.Errorf("markov: empty transition matrix")
+	}
+	for i, row := range p {
+		if len(row) != n {
+			return nil, fmt.Errorf("markov: row %d has length %d, want %d", i, len(row), n)
+		}
+		sum := 0.0
+		for _, v := range row {
+			if v < 0 || v > 1 {
+				return nil, fmt.Errorf("markov: row %d has entry %v outside [0,1]", i, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return nil, fmt.Errorf("markov: row %d sums to %v", i, sum)
+		}
+	}
+	return &Chain{p: p}, nil
+}
+
+// States returns the number of states.
+func (c *Chain) States() int { return len(c.p) }
+
+// StepDist advances a distribution one step: r' = r·P.
+func (c *Chain) StepDist(r []float64) []float64 {
+	n := len(c.p)
+	out := make([]float64, n)
+	for i, ri := range r {
+		if ri == 0 {
+			continue
+		}
+		for j, pij := range c.p[i] {
+			out[j] += ri * pij
+		}
+	}
+	return out
+}
+
+// Stationary computes the stationary distribution by power iteration to
+// tolerance tol (total-variation distance between successive iterates).
+func (c *Chain) Stationary(tol float64) []float64 {
+	n := len(c.p)
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < 1_000_000; iter++ {
+		next := c.StepDist(r)
+		if tvDist(r, next) <= tol {
+			return next
+		}
+		r = next
+	}
+	return r
+}
+
+// MixingTime returns the smallest T such that, from every point-mass
+// initial distribution, the total-variation distance to pi after T steps is
+// at most epsTV. It is the (epsTV)-mixing time used in fact G.2 (epsTV =
+// 1/8 there). maxT caps the search.
+func (c *Chain) MixingTime(pi []float64, epsTV float64, maxT int) int {
+	n := len(c.p)
+	dists := make([][]float64, n)
+	for i := range dists {
+		dists[i] = make([]float64, n)
+		dists[i][i] = 1
+	}
+	for t := 0; t <= maxT; t++ {
+		worst := 0.0
+		for i := range dists {
+			if d := tvDist(dists[i], pi); d > worst {
+				worst = d
+			}
+		}
+		if worst <= epsTV {
+			return t
+		}
+		for i := range dists {
+			dists[i] = c.StepDist(dists[i])
+		}
+	}
+	return maxT + 1
+}
+
+// Walk simulates an n-step walk starting from a state drawn from init,
+// returning the visited states (length n, the state after each step, with
+// the initial state as the first entry's predecessor).
+func (c *Chain) Walk(init []float64, n int, src *rng.Xoshiro256) []int {
+	state := sampleDist(init, src)
+	out := make([]int, n)
+	for t := 0; t < n; t++ {
+		state = sampleDist(c.p[state], src)
+		out[t] = state
+	}
+	return out
+}
+
+// TotalWeight runs an n-step walk from init and returns Σ_t y(s_t), the
+// quantity fact G.2 bounds.
+func (c *Chain) TotalWeight(init []float64, y []float64, n int, src *rng.Xoshiro256) float64 {
+	state := sampleDist(init, src)
+	sum := 0.0
+	for t := 0; t < n; t++ {
+		state = sampleDist(c.p[state], src)
+		sum += y[state]
+	}
+	return sum
+}
+
+// ChungTail evaluates the tail bound of fact G.2 (Chung, Lam, Liu,
+// Mitzenmacher theorem 3.1): P(Y ≥ (1+δ)·μ·n) ≤ C·exp(−δ²·μ·n / (72·T)),
+// where T is the (1/8)-mixing time and μ = E[y(π)]. The universal constant
+// C is not given explicitly in the source; callers pass their choice
+// (C = 1 suffices for the shape comparisons in the experiments).
+func ChungTail(delta, mu float64, n int64, mixingT float64, c float64) float64 {
+	if delta <= 0 || delta >= 1 || mu <= 0 || n <= 0 || mixingT <= 0 {
+		return 1
+	}
+	return c * math.Exp(-delta*delta*mu*float64(n)/(72*mixingT))
+}
+
+// tvDist returns the total-variation distance (1/2)·‖a − b‖₁.
+func tvDist(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum / 2
+}
+
+// sampleDist draws an index from a probability vector.
+func sampleDist(dist []float64, src *rng.Xoshiro256) int {
+	u := src.Float64()
+	acc := 0.0
+	for i, p := range dist {
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	return len(dist) - 1
+}

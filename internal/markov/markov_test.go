@@ -1,0 +1,187 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewChainValidation(t *testing.T) {
+	if _, err := NewChain(nil); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, err := NewChain([][]float64{{0.5, 0.5}, {1}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if _, err := NewChain([][]float64{{0.5, 0.6}, {0.5, 0.5}}); err == nil {
+		t.Fatal("non-stochastic row accepted")
+	}
+	if _, err := NewChain([][]float64{{-0.1, 1.1}, {0.5, 0.5}}); err == nil {
+		t.Fatal("negative entry accepted")
+	}
+	c, err := NewChain([][]float64{{0.9, 0.1}, {0.2, 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.States() != 2 {
+		t.Fatalf("States = %d", c.States())
+	}
+}
+
+func TestStepDistConserves(t *testing.T) {
+	c, _ := NewChain([][]float64{{0.9, 0.1}, {0.2, 0.8}})
+	r := []float64{0.3, 0.7}
+	next := c.StepDist(r)
+	sum := next[0] + next[1]
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("StepDist does not conserve probability: %v", sum)
+	}
+	// Manual check: next[0] = 0.3·0.9 + 0.7·0.2 = 0.41.
+	if math.Abs(next[0]-0.41) > 1e-12 {
+		t.Fatalf("next[0] = %v, want 0.41", next[0])
+	}
+}
+
+func TestStationaryTwoState(t *testing.T) {
+	// For P(0→1)=a, P(1→0)=b, the stationary distribution is (b, a)/(a+b).
+	a, b := 0.1, 0.3
+	c, _ := NewChain([][]float64{{1 - a, a}, {b, 1 - b}})
+	pi := c.Stationary(1e-14)
+	want0 := b / (a + b)
+	if math.Abs(pi[0]-want0) > 1e-6 {
+		t.Fatalf("pi[0] = %v, want %v", pi[0], want0)
+	}
+}
+
+func TestOverlapChainStationaryAndSymmetry(t *testing.T) {
+	c := OverlapChain(0.1)
+	pi := c.Stationary(1e-14)
+	if math.Abs(pi[0]-0.5) > 1e-9 || math.Abs(pi[1]-0.5) > 1e-9 {
+		t.Fatalf("overlap chain stationary = %v, want (1/2, 1/2)", pi)
+	}
+}
+
+func TestMixingTimeWithinAnalyticBound(t *testing.T) {
+	// The paper's bound: (1/8)-mixing time T ≤ 3/(2p(1−p)).
+	for _, p := range []float64{0.01, 0.05, 0.1, 0.25, 0.45} {
+		c := OverlapChain(p)
+		T := c.MixingTime(OverlapStationary(), 1.0/8, 100000)
+		bound := AnalyticMixingBound(p)
+		if float64(T) > bound {
+			t.Errorf("p=%v: mixing time %d exceeds analytic bound %v", p, T, bound)
+		}
+	}
+}
+
+func TestMixingTimeDecreasingInP(t *testing.T) {
+	slow := OverlapChain(0.01).MixingTime(OverlapStationary(), 1.0/8, 100000)
+	fast := OverlapChain(0.3).MixingTime(OverlapStationary(), 1.0/8, 100000)
+	if slow <= fast {
+		t.Fatalf("mixing time should shrink as p grows: p=.01→%d, p=.3→%d", slow, fast)
+	}
+}
+
+func TestWalkVisitsBothStates(t *testing.T) {
+	c := OverlapChain(0.2)
+	src := rng.New(1)
+	walk := c.Walk(OverlapStationary(), 10000, src)
+	var same int
+	for _, s := range walk {
+		if s != StateSame && s != StateDiff {
+			t.Fatalf("invalid state %d", s)
+		}
+		if s == StateSame {
+			same++
+		}
+	}
+	// Stationary start → about half the time in "same".
+	if same < 4000 || same > 6000 {
+		t.Fatalf("same-state fraction %d/10000 far from 1/2", same)
+	}
+}
+
+func TestTotalWeightMatchesWalkSum(t *testing.T) {
+	c := OverlapChain(0.15)
+	y := OverlapWeight()
+	// Same seed → TotalWeight must equal the manual sum over Walk.
+	w1 := c.TotalWeight(OverlapStationary(), y, 5000, rng.New(7))
+	walk := c.Walk(OverlapStationary(), 5000, rng.New(7))
+	sum := 0.0
+	for _, s := range walk {
+		sum += y[s]
+	}
+	if math.Abs(w1-sum) > 1e-9 {
+		t.Fatalf("TotalWeight %v != walk sum %v", w1, sum)
+	}
+}
+
+func TestChungTailShape(t *testing.T) {
+	// The bound decreases in n and increases in T.
+	b1 := ChungTail(0.2, 0.5, 1000, 10, 1)
+	b2 := ChungTail(0.2, 0.5, 10000, 10, 1)
+	if b2 >= b1 {
+		t.Fatalf("tail should shrink with n: %v vs %v", b1, b2)
+	}
+	b3 := ChungTail(0.2, 0.5, 1000, 100, 1)
+	if b3 <= b1 {
+		t.Fatalf("tail should grow with mixing time: %v vs %v", b1, b3)
+	}
+	if ChungTail(0, 0.5, 1000, 10, 1) != 1 {
+		t.Fatal("degenerate delta should return trivial bound 1")
+	}
+}
+
+func TestChungTailEmpirical(t *testing.T) {
+	// Empirical overlap tail versus the fact G.2 bound with C = 1: at the
+	// paper's operating point (δ = 1/5) the empirical tail should be far
+	// below even the C = 1 bound once n/T is large.
+	p := 0.05
+	c := OverlapChain(p)
+	pi := OverlapStationary()
+	y := OverlapWeight()
+	n := 4000
+	T := AnalyticMixingBound(p)
+	const trials = 300
+	src := rng.New(3)
+	exceed := 0
+	for i := 0; i < trials; i++ {
+		w := c.TotalWeight(pi, y, n, src)
+		if w >= 0.6*float64(n) {
+			exceed++
+		}
+	}
+	empirical := float64(exceed) / trials
+	bound := ChungTail(0.2, 0.5, int64(n), T, 1)
+	// The bound must hold with a generous constant (C is universal but
+	// unspecified; 10 covers it comfortably at this operating point).
+	if empirical > 10*bound+0.02 {
+		t.Fatalf("empirical tail %v not covered by bound %v", empirical, bound)
+	}
+}
+
+func TestMatchProbabilityBound(t *testing.T) {
+	// Matches the theorem 4.2 constant: exp(−v/(32400ε)).
+	eps, v := 0.5, 32400.0*0.5*2 // exponent −2
+	got := MatchProbabilityBound(eps, v, 1)
+	want := math.Exp(-2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MatchProbabilityBound = %v, want %v", got, want)
+	}
+	if MatchProbabilityBound(0, 1, 1) != 1 {
+		t.Fatal("degenerate eps should return 1")
+	}
+}
+
+func TestOverlapChainPanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("OverlapChain(%v) should panic", p)
+				}
+			}()
+			OverlapChain(p)
+		}()
+	}
+}

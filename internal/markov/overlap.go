@@ -1,0 +1,68 @@
+package markov
+
+import "math"
+
+// This file specializes the chain machinery to the two-state overlap chain
+// of appendix G: two independently-evolving lower-bound sequences are in
+// state "same" (c) when f(t) = g(t) and "different" (d) otherwise. Each
+// sequence switches levels independently with probability p per step, so
+//
+//	P(same → same) = P(diff → diff) = α = 1 − 2p(1−p),
+//	P(same → diff) = P(diff → same) = 1 − α = 2p(1−p).
+//
+// The stationary distribution is (1/2, 1/2); the overlap between the two
+// sequences after n steps is Y = Σ y(s_t) with y(c) = 1, y(d) = 0, and the
+// paper bounds P(Y ≥ (6/10)·n) via fact G.2 with the analytic mixing-time
+// bound T ≤ 3/(2p).
+
+// StateSame and StateDiff index the overlap chain's states.
+const (
+	StateSame = 0
+	StateDiff = 1
+)
+
+// OverlapChain builds the two-state chain for switch probability p.
+// It panics unless 0 < p < 1.
+func OverlapChain(p float64) *Chain {
+	if p <= 0 || p >= 1 {
+		panic("markov: OverlapChain needs 0 < p < 1")
+	}
+	alpha := 1 - 2*p*(1-p)
+	c, err := NewChain([][]float64{
+		{alpha, 1 - alpha},
+		{1 - alpha, alpha},
+	})
+	if err != nil {
+		panic(err) // unreachable: the matrix is stochastic by construction
+	}
+	return c
+}
+
+// OverlapStationary is the overlap chain's stationary distribution.
+func OverlapStationary() []float64 { return []float64{0.5, 0.5} }
+
+// OverlapWeight is the weight function whose walk-sum is the overlap count.
+func OverlapWeight() []float64 { return []float64{1, 0} }
+
+// AnalyticMixingBound is the paper's closed-form bound on the (1/8)-mixing
+// time of the overlap chain: T ≤ 3/(2p(1−p)) ≤ 3/(2p) (appendix G uses the
+// latter, valid since p ≤ 1/2 there gives 1−p ≥ 1/2... the tighter
+// 3/(2p(1−p)) holds for all p, and we return it).
+func AnalyticMixingBound(p float64) float64 {
+	return 3 / (2 * p * (1 - p))
+}
+
+// MatchProbabilityBound is the appendix-G specialization of fact G.2: the
+// probability that two independent sequences with switch probability
+// p = v/(6εn) overlap in at least (6/10)·n of n positions. Plugging
+// δ = 1/5, μ = 1/2, and T ≤ 3/(2p) = 9εn/v into the tail gives
+//
+//	P(match) ≤ C·exp(−(1/25)(1/2)n / (72·9εn/v)) = C·exp(−v/(32400·ε)),
+//
+// the constant that appears in the premise of theorem 4.2.
+func MatchProbabilityBound(eps, v float64, c float64) float64 {
+	if eps <= 0 || v <= 0 {
+		return 1
+	}
+	return c * math.Exp(-v/(32400*eps))
+}

@@ -1,0 +1,115 @@
+// Package quantile implements the order-statistics machinery behind the
+// paper's §2 remarks on Tao, Yi, Sheng, Pei, and Li's "logging every
+// footstep" problem: summarizing the entire history of a dataset's order
+// statistics over an insert/delete stream.
+//
+// Tao et al.'s bounds, restated by the paper in terms of the
+// |D|-variability v(n), are a lower bound of Ω(v/ε) and online/offline
+// upper bounds of O(v/ε²) and O((1/ε·log²(1/ε))·v) words. The History type
+// here is the natural variability-driven construction: snapshot the ε/2
+// order-statistics whenever the variability grows by ε/4 since the last
+// snapshot. Between snapshots at most ~ (ε/4)·|D| updates occur (each
+// update at size |D| contributes ≥ 1/|D| variability), so every rank moves
+// by at most ε|D|/4 and historical quantile queries stay within ε·|D(t)|.
+// The space is O(v/ε²) words — Tao et al.'s online bound — and the
+// snapshot count is O(v/ε), matching their lower bound up to the 1/ε
+// per-snapshot factor.
+//
+// The package also provides a Greenwald-Khanna summary (the classical
+// ε-quantile sketch for insert-only streams) as the substrate for building
+// snapshot summaries without materializing sorted copies, and a Fenwick
+// (binary-indexed) tree over the value universe as the exact reference
+// structure.
+package quantile
+
+import "fmt"
+
+// Fenwick is a binary-indexed tree over the value universe [0, n): point
+// add, prefix sums, and rank selection in O(log n).
+type Fenwick struct {
+	tree  []int64
+	total int64
+}
+
+// NewFenwick builds a Fenwick tree over [0, n).
+func NewFenwick(n int) *Fenwick {
+	if n <= 0 {
+		panic("quantile: NewFenwick needs n > 0")
+	}
+	return &Fenwick{tree: make([]int64, n+1)}
+}
+
+// Universe returns the value-universe size.
+func (f *Fenwick) Universe() int { return len(f.tree) - 1 }
+
+// Total returns the current multiset size Σ counts.
+func (f *Fenwick) Total() int64 { return f.total }
+
+// Add adds delta to the count of value v.
+func (f *Fenwick) Add(v int, delta int64) {
+	if v < 0 || v >= len(f.tree)-1 {
+		panic(fmt.Sprintf("quantile: Add(%d) outside universe [0, %d)", v, len(f.tree)-1))
+	}
+	f.total += delta
+	for i := v + 1; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// PrefixSum returns the number of elements with value ≤ v.
+func (f *Fenwick) PrefixSum(v int) int64 {
+	if v < 0 {
+		return 0
+	}
+	if v >= len(f.tree)-1 {
+		v = len(f.tree) - 2
+	}
+	var sum int64
+	for i := v + 1; i > 0; i -= i & (-i) {
+		sum += f.tree[i]
+	}
+	return sum
+}
+
+// Select returns the value with 1-based rank r (the r-th smallest element),
+// assuming all counts are nonnegative. It panics if r is out of range.
+func (f *Fenwick) Select(r int64) int {
+	if r < 1 || r > f.total {
+		panic(fmt.Sprintf("quantile: Select(%d) with total %d", r, f.total))
+	}
+	pos := 0
+	// Highest power of two ≤ len(tree)-1.
+	bit := 1
+	for bit<<1 <= len(f.tree)-1 {
+		bit <<= 1
+	}
+	rem := r
+	for ; bit > 0; bit >>= 1 {
+		next := pos + bit
+		if next < len(f.tree) && f.tree[next] < rem {
+			rem -= f.tree[next]
+			pos = next
+		}
+	}
+	return pos // pos is 0-based value index
+}
+
+// Snapshot returns the values at ranks 1, 1+step, 1+2·step, ..., total
+// (always including the max), the ε-spaced order statistics used by
+// History checkpoints. step must be ≥ 1.
+func (f *Fenwick) Snapshot(step int64) []int32 {
+	if step < 1 {
+		panic("quantile: Snapshot needs step >= 1")
+	}
+	if f.total == 0 {
+		return nil
+	}
+	var out []int32
+	for r := int64(1); r <= f.total; r += step {
+		out = append(out, int32(f.Select(r)))
+	}
+	if last := f.Select(f.total); len(out) == 0 || int32(last) != out[len(out)-1] {
+		out = append(out, int32(last))
+	}
+	return out
+}

@@ -1,0 +1,338 @@
+package quantile
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestFenwickBasics(t *testing.T) {
+	f := NewFenwick(16)
+	f.Add(3, 2)
+	f.Add(7, 1)
+	f.Add(0, 1)
+	if f.Total() != 4 {
+		t.Fatalf("Total = %d", f.Total())
+	}
+	if got := f.PrefixSum(2); got != 1 {
+		t.Fatalf("PrefixSum(2) = %d", got)
+	}
+	if got := f.PrefixSum(3); got != 3 {
+		t.Fatalf("PrefixSum(3) = %d", got)
+	}
+	if got := f.PrefixSum(100); got != 4 {
+		t.Fatalf("PrefixSum(100) = %d", got)
+	}
+	if got := f.PrefixSum(-1); got != 0 {
+		t.Fatalf("PrefixSum(-1) = %d", got)
+	}
+	// Ranks: elements are {0, 3, 3, 7}.
+	wantSel := map[int64]int{1: 0, 2: 3, 3: 3, 4: 7}
+	for r, want := range wantSel {
+		if got := f.Select(r); got != want {
+			t.Fatalf("Select(%d) = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestFenwickAgainstSortedReference(t *testing.T) {
+	src := rng.New(7)
+	f := NewFenwick(1 << 10)
+	var ref []int
+	for i := 0; i < 5000; i++ {
+		if len(ref) > 0 && src.Bernoulli(0.3) {
+			idx := src.Intn(len(ref))
+			v := ref[idx]
+			ref = append(ref[:idx], ref[idx+1:]...)
+			f.Add(v, -1)
+		} else {
+			v := src.Intn(1 << 10)
+			ref = append(ref, v)
+			f.Add(v, 1)
+		}
+	}
+	sort.Ints(ref)
+	if f.Total() != int64(len(ref)) {
+		t.Fatalf("Total = %d, ref %d", f.Total(), len(ref))
+	}
+	for r := int64(1); r <= f.Total(); r += 37 {
+		if got, want := f.Select(r), ref[r-1]; got != want {
+			t.Fatalf("Select(%d) = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestFenwickSelectPanics(t *testing.T) {
+	f := NewFenwick(8)
+	f.Add(1, 1)
+	for _, r := range []int64{0, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Select(%d) should panic", r)
+				}
+			}()
+			f.Select(r)
+		}()
+	}
+}
+
+func TestFenwickSnapshotCoversRange(t *testing.T) {
+	f := NewFenwick(128)
+	for v := 0; v < 100; v++ {
+		f.Add(v, 1)
+	}
+	snap := f.Snapshot(10)
+	if len(snap) < 10 {
+		t.Fatalf("snapshot too small: %v", snap)
+	}
+	if snap[0] != 0 || snap[len(snap)-1] != 99 {
+		t.Fatalf("snapshot endpoints: %v", snap)
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i] < snap[i-1] {
+			t.Fatalf("snapshot not sorted: %v", snap)
+		}
+	}
+}
+
+func TestGKRankError(t *testing.T) {
+	for _, eps := range []float64{0.1, 0.01} {
+		g := NewGK(eps)
+		src := rng.New(3)
+		var ref []int64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			v := src.Int63n(1 << 30)
+			g.Insert(v)
+			ref = append(ref, v)
+		}
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+			got := g.Query(q)
+			// True rank of the answer.
+			rank := sort.Search(len(ref), func(i int) bool { return ref[i] >= got })
+			target := q * float64(n)
+			if math.Abs(float64(rank)-target) > 2*eps*float64(n)+2 {
+				t.Fatalf("eps=%v q=%v: rank %d vs target %v", eps, q, rank, target)
+			}
+		}
+		// Space must be sublinear — far below n.
+		if g.Size() > n/10 {
+			t.Fatalf("eps=%v: GK size %d too large", eps, g.Size())
+		}
+	}
+}
+
+func TestGKSortedInsertions(t *testing.T) {
+	g := NewGK(0.05)
+	const n = 10000
+	for i := int64(0); i < n; i++ {
+		g.Insert(i)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		got := g.Query(q)
+		if math.Abs(float64(got)-q*n) > 2*0.05*n+2 {
+			t.Fatalf("sorted input q=%v: got %d", q, got)
+		}
+	}
+}
+
+func TestGKMerge(t *testing.T) {
+	a, b := NewGK(0.05), NewGK(0.05)
+	src := rng.New(11)
+	var ref []int64
+	for i := 0; i < 5000; i++ {
+		v := src.Int63n(1 << 20)
+		a.Insert(v)
+		ref = append(ref, v)
+	}
+	for i := 0; i < 5000; i++ {
+		v := src.Int63n(1 << 20)
+		b.Insert(v)
+		ref = append(ref, v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 10000 {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+	for _, q := range []float64{0.25, 0.5, 0.75} {
+		got := a.Query(q)
+		rank := sort.Search(len(ref), func(i int) bool { return ref[i] >= got })
+		// Merged summaries have summed error (2ε here); allow 3ε slack.
+		if math.Abs(float64(rank)-q*10000) > 3*0.05*10000+2 {
+			t.Fatalf("merged q=%v: rank %d", q, rank)
+		}
+	}
+}
+
+func TestGKMergeRejectsCoarser(t *testing.T) {
+	a, b := NewGK(0.01), NewGK(0.5)
+	b.Insert(1)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge of coarser summary accepted")
+	}
+}
+
+func TestGKPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewGK(0) should panic")
+			}
+		}()
+		NewGK(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Query on empty should panic")
+			}
+		}()
+		NewGK(0.1).Query(0.5)
+	}()
+}
+
+// historyWorkload drives a History and an exact replay side by side,
+// checking historical quantile queries against ground truth ranks.
+func historyWorkload(t *testing.T, eps float64, n int, universe int, delProb float64, seed uint64) *History {
+	t.Helper()
+	h := NewHistory(eps, universe)
+	src := rng.New(seed)
+	// Record the exact multiset at every step (value-indexed counts are
+	// too big to copy; instead record the update log and rebuild with a
+	// Fenwick for queried times).
+	type upd struct {
+		v     int
+		delta int64
+	}
+	var log []upd
+	var present []int
+	for i := 0; i < n; i++ {
+		if len(present) > 0 && src.Bernoulli(delProb) {
+			idx := src.Intn(len(present))
+			v := present[idx]
+			present[idx] = present[len(present)-1]
+			present = present[:len(present)-1]
+			h.Update(v, -1)
+			log = append(log, upd{v, -1})
+		} else {
+			v := src.Intn(universe)
+			present = append(present, v)
+			h.Update(v, 1)
+			log = append(log, upd{v, 1})
+		}
+	}
+	// Check queries at a sample of times.
+	ref := NewFenwick(universe)
+	step := 0
+	checkAt := n / 23
+	if checkAt < 1 {
+		checkAt = 1
+	}
+	for _, u := range log {
+		ref.Add(u.v, u.delta)
+		step++
+		if step%checkAt != 0 || ref.Total() == 0 {
+			continue
+		}
+		size := ref.Total()
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			got := h.QueryQuantile(int64(step), q)
+			// Rank of got in D(step): number of elements ≤ got.
+			rank := ref.PrefixSum(int(got))
+			target := q * float64(size)
+			if math.Abs(float64(rank)-target) > eps*float64(size)+2 {
+				t.Fatalf("t=%d q=%v: rank %d vs target %v (size %d, eps %v)",
+					step, q, rank, target, size, eps)
+			}
+		}
+	}
+	return h
+}
+
+func TestHistoryQuantileAccuracy(t *testing.T) {
+	for _, eps := range []float64{0.2, 0.1} {
+		for _, delProb := range []float64{0.1, 0.4} {
+			historyWorkload(t, eps, 20000, 1<<10, delProb, 5)
+		}
+	}
+}
+
+func TestHistorySpaceTracksVariability(t *testing.T) {
+	// Snapshot count must be ≤ 4·v/ε + 1 by construction.
+	eps := 0.1
+	h := historyWorkload(t, eps, 30000, 1<<10, 0.2, 9)
+	maxCheckpoints := 4*h.VariabilityV()/eps + 2
+	if float64(h.Checkpoints()) > maxCheckpoints {
+		t.Fatalf("checkpoints %d exceed 4v/ε bound %v (v=%v)", h.Checkpoints(), maxCheckpoints, h.VariabilityV())
+	}
+	// And the total words follow the online O(v/ε²) shape — far below
+	// storing all n versions of the dataset.
+	if h.SizeWords() > int64(30000)*10 {
+		t.Fatalf("history size %d words unexpectedly large", h.SizeWords())
+	}
+}
+
+func TestHistoryGrowOnlyIsCheap(t *testing.T) {
+	// Insert-only: v = O(log n), so snapshots are logarithmic.
+	eps := 0.1
+	h := NewHistory(eps, 1<<10)
+	src := rng.New(13)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		h.Update(src.Intn(1<<10), 1)
+	}
+	if h.Checkpoints() > 1000 {
+		t.Fatalf("grow-only history took %d checkpoints", h.Checkpoints())
+	}
+}
+
+func TestHistoryPanics(t *testing.T) {
+	h := NewHistory(0.1, 16)
+	for name, fn := range map[string]func(){
+		"delta":         func() { h.Update(3, 2) },
+		"absent-delete": func() { h.Update(5, -1) },
+		"bad-time":      func() { h.QueryQuantile(99, 0.5) },
+		"eps":           func() { NewHistory(0, 16) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFenwickPrefixSumMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		fw := NewFenwick(64)
+		counts := make([]int64, 64)
+		for i := 0; i < 200; i++ {
+			v := src.Intn(64)
+			fw.Add(v, 1)
+			counts[v]++
+		}
+		var sum int64
+		for v := 0; v < 64; v++ {
+			sum += counts[v]
+			if fw.PrefixSum(v) != sum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package rng
+
+import "math"
+
+// Normal returns a sample from the standard normal distribution using the
+// Box-Muller transform. It consumes two uniform variates per pair of calls.
+func (x *Xoshiro256) Normal() float64 {
+	// Box-Muller; u must be in (0,1] to avoid log(0).
+	u := 1 - x.Float64()
+	v := x.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
+// Geometric returns a sample from the geometric distribution on {1, 2, ...}
+// with success probability p: the number of Bernoulli(p) trials up to and
+// including the first success. It panics unless 0 < p <= 1.
+func (x *Xoshiro256) Geometric(p float64) int64 {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric needs 0 < p <= 1")
+	}
+	if p == 1 {
+		return 1
+	}
+	u := 1 - x.Float64() // in (0,1]
+	return int64(math.Ceil(math.Log(u) / math.Log(1-p)))
+}
+
+// Zipf samples from a Zipf (zeta) distribution over {0, 1, ..., n−1} with
+// exponent s > 0: P(i) ∝ 1/(i+1)^s. The sampler precomputes the CDF once,
+// so construction is O(n) and each Sample is O(log n).
+//
+// Zipf item popularity is the standard model for skewed item-frequency
+// workloads (experiment E12-E14, appendix H of the paper).
+type Zipf struct {
+	cdf []float64
+	src *Xoshiro256
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent s using src.
+// It panics if n <= 0 or s < 0.
+func NewZipf(src *Xoshiro256, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf needs n > 0")
+	}
+	if s < 0 {
+		panic("rng: NewZipf needs s >= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf, src: src}
+}
+
+// N returns the support size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws one item index in [0, n).
+func (z *Zipf) Sample() int {
+	u := z.src.Float64()
+	// Binary search for the first index with cdf >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

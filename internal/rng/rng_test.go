@@ -1,0 +1,339 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Determinism(t *testing.T) {
+	// Two generators with the same seed agree forever; different seeds
+	// essentially never collide.
+	a, b := NewSplitMix64(42), NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("SplitMix64 not deterministic at step %d", i)
+		}
+	}
+	c := NewSplitMix64(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if NewSplitMix64(42).Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 42 and 43 collide too often: %d/1000", same)
+	}
+}
+
+func TestXoshiroDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 10000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Xoshiro256 not deterministic at step %d", i)
+		}
+	}
+}
+
+func TestXoshiroSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 10000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := New(3)
+	for i := 0; i < 100000; i++ {
+		f := x.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	x := New(4)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += x.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	x := New(5)
+	for _, n := range []int{1, 2, 3, 7, 10, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := x.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniform(t *testing.T) {
+	// Chi-squared-ish sanity check on a small modulus.
+	x := New(6)
+	const n, trials = 10, 100000
+	var counts [n]int
+	for i := 0; i < trials; i++ {
+		counts[x.Uint64n(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d too far from %v", i, c, want)
+		}
+	}
+}
+
+func TestUint64nPowerOfTwo(t *testing.T) {
+	x := New(8)
+	for i := 0; i < 10000; i++ {
+		if v := x.Uint64n(64); v >= 64 {
+			t.Fatalf("Uint64n(64) = %d", v)
+		}
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	x := New(9)
+	for i := 0; i < 100; i++ {
+		if x.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !x.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if x.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !x.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	x := New(10)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		const n = 100000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if x.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Fatalf("Bernoulli(%v) rate = %v", p, got)
+		}
+	}
+}
+
+func TestPlusMinusOneDrift(t *testing.T) {
+	x := New(11)
+	mu := 0.2
+	p := (1 + mu) / 2
+	const n = 200000
+	var sum int64
+	for i := 0; i < n; i++ {
+		v := x.PlusMinusOne(p)
+		if v != 1 && v != -1 {
+			t.Fatalf("PlusMinusOne returned %d", v)
+		}
+		sum += v
+	}
+	drift := float64(sum) / n
+	if math.Abs(drift-mu) > 0.01 {
+		t.Fatalf("drift = %v, want ~%v", drift, mu)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	x := New(12)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := x.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	x := New(13)
+	a := x.Fork(1)
+	b := x.Fork(2)
+	same := 0
+	for i := 0; i < 10000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("forked generators produced %d identical outputs", same)
+	}
+}
+
+func TestUint64nNeverExceedsBound(t *testing.T) {
+	f := func(seed uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		x := New(seed)
+		for i := 0; i < 50; i++ {
+			if x.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	x := New(14)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := x.Normal()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("Normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("Normal variance = %v", variance)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	x := New(15)
+	p := 0.25
+	const n = 100000
+	var sum int64
+	for i := 0; i < n; i++ {
+		g := x.Geometric(p)
+		if g < 1 {
+			t.Fatalf("Geometric returned %d < 1", g)
+		}
+		sum += g
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-1/p) > 0.1 {
+		t.Fatalf("Geometric(%v) mean = %v, want ~%v", p, mean, 1/p)
+	}
+}
+
+func TestGeometricPEqualsOne(t *testing.T) {
+	x := New(16)
+	for i := 0; i < 100; i++ {
+		if g := x.Geometric(1); g != 1 {
+			t.Fatalf("Geometric(1) = %d", g)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	x := New(17)
+	z := NewZipf(x, 100, 1.0)
+	const n = 100000
+	counts := make([]int, 100)
+	for i := 0; i < n; i++ {
+		counts[z.Sample()]++
+	}
+	// Item 0 should be roughly twice as frequent as item 1 for s=1.
+	if counts[0] < counts[1] {
+		t.Fatalf("Zipf not skewed: counts[0]=%d counts[1]=%d", counts[0], counts[1])
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.7 || ratio > 2.4 {
+		t.Fatalf("Zipf(s=1) ratio counts[0]/counts[1] = %v, want ~2", ratio)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	x := New(18)
+	z := NewZipf(x, 10, 0)
+	const n = 100000
+	counts := make([]int, 10)
+	for i := 0; i < n; i++ {
+		counts[z.Sample()]++
+	}
+	want := float64(n) / 10
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("Zipf(s=0) bucket %d = %d, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestZipfSampleInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := New(seed)
+		z := NewZipf(x, 37, 1.2)
+		for i := 0; i < 100; i++ {
+			s := z.Sample()
+			if s < 0 || s >= 37 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	x := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = x.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	x := New(1)
+	z := NewZipf(x, 1<<16, 1.1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = z.Sample()
+	}
+	_ = sink
+}

@@ -1,0 +1,87 @@
+// Package sketch implements the two frequency-summary substrates appendix H
+// of the paper plugs into its item-frequency tracker: the Count-Min sketch
+// of Cormode and Muthukrishnan (randomized, pairwise-independent hashing)
+// and the CR-precis of Ganguly and Majumder (deterministic, prime-modulus
+// rows). Both are linear sketches, which is what lets the coordinator sum
+// per-site sketches into a global one.
+package sketch
+
+import "math/bits"
+
+// mersenne61 is the prime 2^61 − 1 used as the field for pairwise-
+// independent hashing. Reduction modulo a Mersenne prime needs no division.
+const mersenne61 = (1 << 61) - 1
+
+// mulmod61 returns a*b mod 2^61−1 using 128-bit intermediate arithmetic.
+func mulmod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a*b = hi·2^64 + lo = hi·8·2^61 + lo ≡ hi·8 + lo (mod 2^61−1), applied
+	// twice to fold the carry.
+	res := (lo & mersenne61) + (lo >> 61) + (hi << 3 & mersenne61) + (hi >> 58)
+	res = (res & mersenne61) + (res >> 61)
+	if res >= mersenne61 {
+		res -= mersenne61
+	}
+	return res
+}
+
+// PairwiseHash is a pairwise-independent hash function
+// h(x) = ((a·x + b) mod p) mod w over the field GF(2^61−1).
+type PairwiseHash struct {
+	a, b uint64
+	w    uint64
+}
+
+// NewPairwiseHash builds a hash onto [0, w) from the coefficients a and b.
+// a is forced into [1, p) and b into [0, p). It panics if w == 0.
+func NewPairwiseHash(a, b uint64, w uint64) PairwiseHash {
+	if w == 0 {
+		panic("sketch: NewPairwiseHash needs w > 0")
+	}
+	a %= mersenne61
+	if a == 0 {
+		a = 1
+	}
+	return PairwiseHash{a: a, b: b % mersenne61, w: w}
+}
+
+// Hash returns h(x) in [0, w).
+func (h PairwiseHash) Hash(x uint64) uint64 {
+	v := mulmod61(h.a, x%mersenne61) + h.b
+	v = (v & mersenne61) + (v >> 61)
+	if v >= mersenne61 {
+		v -= mersenne61
+	}
+	return v % h.w
+}
+
+// Primes returns the first count primes that are ≥ lo, by trial division.
+// CR-precis rows use distinct prime moduli so that two distinct items can
+// collide in only a bounded number of rows.
+func Primes(lo int64, count int) []int64 {
+	if lo < 2 {
+		lo = 2
+	}
+	out := make([]int64, 0, count)
+	for p := lo; len(out) < count; p++ {
+		if isPrime(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func isPrime(n int64) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	for d := int64(3); d*d <= n; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}

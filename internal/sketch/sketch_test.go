@@ -1,0 +1,338 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+func TestMulmod61(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{0, 5, 0},
+		{1, 7, 7},
+		{mersenne61 - 1, 2, mersenne61 - 2},
+		{mersenne61, 3, 0}, // p ≡ 0
+		{1 << 40, 1 << 40, (1 << 80) % (1<<61 - 1) & math.MaxUint64},
+	}
+	for _, c := range cases[:4] {
+		if got := mulmod61(c.a%mersenne61, c.b%mersenne61); got != c.want%mersenne61 {
+			t.Errorf("mulmod61(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	// Cross-check against big-number arithmetic via repeated addition for
+	// small operands.
+	f := func(a, b uint16) bool {
+		got := mulmod61(uint64(a), uint64(b))
+		return got == uint64(a)*uint64(b)%mersenne61
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairwiseHashRange(t *testing.T) {
+	h := NewPairwiseHash(12345, 67890, 97)
+	for x := uint64(0); x < 10000; x++ {
+		if v := h.Hash(x); v >= 97 {
+			t.Fatalf("hash out of range: %d", v)
+		}
+	}
+}
+
+func TestPairwiseHashSpread(t *testing.T) {
+	src := rng.New(5)
+	const w, n = 64, 64000
+	h := NewPairwiseHash(src.Uint64(), src.Uint64(), w)
+	counts := make([]int, w)
+	for x := uint64(0); x < n; x++ {
+		counts[h.Hash(x*2654435761)]++
+	}
+	want := float64(n) / w
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 8*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d far from uniform %v", i, c, want)
+		}
+	}
+}
+
+func TestPairwiseHashZeroAForced(t *testing.T) {
+	h := NewPairwiseHash(0, 3, 10)
+	// a = 0 would make the hash constant in x; the constructor forces a = 1.
+	if h.Hash(1) == h.Hash(2) && h.Hash(2) == h.Hash(3) && h.Hash(3) == h.Hash(4) {
+		t.Fatal("hash is constant; a=0 not corrected")
+	}
+}
+
+func TestPrimes(t *testing.T) {
+	got := Primes(10, 5)
+	want := []int64{11, 13, 17, 19, 23}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Primes(10,5) = %v", got)
+		}
+	}
+	if p := Primes(0, 3); p[0] != 2 || p[1] != 3 || p[2] != 5 {
+		t.Fatalf("Primes(0,3) = %v", p)
+	}
+}
+
+func TestCountMinExactWhenNoCollisions(t *testing.T) {
+	cm := NewCountMin(1024, 3, 1)
+	// Few items in a wide sketch: estimates should be exact.
+	items := []uint64{1, 99, 12345, 1 << 40}
+	for i, it := range items {
+		cm.Add(it, int64(i+1)*10)
+	}
+	for i, it := range items {
+		if got := cm.Estimate(it); got != int64(i+1)*10 {
+			t.Fatalf("estimate(%d) = %d, want %d", it, got, (i+1)*10)
+		}
+	}
+}
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	// Strict turnstile: inserts and deletes with nonnegative frequencies.
+	cm := NewCountMin(32, 2, 7)
+	gen := stream.NewItemGen(20000, 500, 1.0, 0.3, 3)
+	exact := make(map[uint64]int64)
+	for {
+		u, ok := gen.Next()
+		if !ok {
+			break
+		}
+		cm.Add(u.Item, u.Delta)
+		exact[u.Item] += u.Delta
+	}
+	for it, f := range exact {
+		if got := cm.Estimate(it); got < f {
+			t.Fatalf("estimate(%d) = %d underestimates %d", it, got, f)
+		}
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	// Paper sizing: width 27/ε ⇒ P(err ≤ εF1/3) ≥ 8/9 per query per row.
+	eps := 0.1
+	cm := NewCountMinForError(eps, 1, 11)
+	if cm.Width() != 270 {
+		t.Fatalf("width = %d, want 270", cm.Width())
+	}
+	gen := stream.NewItemGen(50000, 2000, 1.1, 0.2, 5)
+	exact := make(map[uint64]int64)
+	var f1 int64
+	for {
+		u, ok := gen.Next()
+		if !ok {
+			break
+		}
+		cm.Add(u.Item, u.Delta)
+		exact[u.Item] += u.Delta
+		f1 += u.Delta
+	}
+	bad := 0
+	total := 0
+	for it, f := range exact {
+		total++
+		if float64(cm.Estimate(it)-f) > eps*float64(f1)/3 {
+			bad++
+		}
+	}
+	if frac := float64(bad) / float64(total); frac > 1.0/9+0.05 {
+		t.Fatalf("error bound violated for %v of queries", frac)
+	}
+}
+
+func TestCountMinMerge(t *testing.T) {
+	a := NewCountMin(64, 2, 9)
+	b := NewCountMin(64, 2, 9) // same seed → same hashes
+	a.Add(5, 3)
+	b.Add(5, 4)
+	b.Add(7, 2)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Estimate(5); got < 7 {
+		t.Fatalf("merged estimate(5) = %d, want >= 7", got)
+	}
+	c := NewCountMin(32, 2, 9)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merge with mismatched width accepted")
+	}
+	d := NewCountMin(64, 2, 10) // different seed → different hashes
+	if err := a.Merge(d); err == nil {
+		t.Fatal("merge with mismatched hashes accepted")
+	}
+}
+
+func TestCountMinCellIndexConsistent(t *testing.T) {
+	cm := NewCountMin(128, 3, 13)
+	cm.Add(42, 10)
+	cells := cm.CellIndex(42)
+	if len(cells) != 3 {
+		t.Fatalf("CellIndex returned %d cells", len(cells))
+	}
+	// Reading through the flat indices must reproduce Estimate.
+	flat := make(map[uint64]int64)
+	for i, row := range cm.rows {
+		for j, v := range row {
+			if v != 0 {
+				flat[uint64(i)*cm.width+uint64(j)] = v
+			}
+		}
+	}
+	got := cm.EstimateFromCells(func(c uint64) int64 { return flat[c] }, 42)
+	if got != cm.Estimate(42) {
+		t.Fatalf("EstimateFromCells = %d, Estimate = %d", got, cm.Estimate(42))
+	}
+}
+
+func TestCRPrecisExactSmall(t *testing.T) {
+	cr := NewCRPrecis(4, 101, 32)
+	items := []uint64{3, 500, 1 << 20}
+	for i, it := range items {
+		cr.Add(it, int64(i+1)*7)
+	}
+	for i, it := range items {
+		if got := cr.Estimate(it); got != int64(i+1)*7 {
+			t.Fatalf("estimate(%d) = %d, want %d", it, got, (i+1)*7)
+		}
+	}
+}
+
+func TestCRPrecisNeverUnderestimates(t *testing.T) {
+	cr := NewCRPrecis(6, 13, 16)
+	gen := stream.NewItemGen(10000, 300, 1.0, 0.25, 8)
+	exact := make(map[uint64]int64)
+	for {
+		u, ok := gen.Next()
+		if !ok {
+			break
+		}
+		cr.Add(u.Item, u.Delta)
+		exact[u.Item] += u.Delta
+	}
+	for it, f := range exact {
+		if got := cr.Estimate(it); got < f {
+			t.Fatalf("estimate(%d) = %d underestimates %d", it, got, f)
+		}
+	}
+}
+
+func TestCRPrecisDeterministicErrorBound(t *testing.T) {
+	// The min-estimator error must never exceed MaxCollisions/Rows · F1 —
+	// a hard guarantee, not probabilistic.
+	universeBits := 16
+	cr := NewCRPrecisForError(0.3, universeBits)
+	gen := stream.NewItemGen(30000, 1<<universeBits, 1.2, 0.2, 9)
+	exact := make(map[uint64]int64)
+	var f1 int64
+	for {
+		u, ok := gen.Next()
+		if !ok {
+			break
+		}
+		cr.Add(u.Item, u.Delta)
+		exact[u.Item] += u.Delta
+		f1 += u.Delta
+	}
+	for it, f := range exact {
+		err := float64(cr.Estimate(it) - f)
+		if err < 0 {
+			t.Fatalf("underestimate for %d", it)
+		}
+		if err > cr.ErrorBound(f1)+1e-9 {
+			t.Fatalf("estimate error %v exceeds deterministic bound %v", err, cr.ErrorBound(f1))
+		}
+	}
+}
+
+func TestCRPrecisForErrorSizing(t *testing.T) {
+	cr := NewCRPrecisForError(0.1, 24)
+	// maxCollisions/rows must be ≤ eps/3.
+	ratio := float64(cr.MaxCollisions()) / float64(cr.Rows())
+	if ratio > 0.1/3+1e-9 {
+		t.Fatalf("collision ratio %v exceeds eps/3", ratio)
+	}
+}
+
+func TestCRPrecisAvgEstimator(t *testing.T) {
+	cr := NewCRPrecis(5, 53, 16)
+	cr.Add(11, 100)
+	cr.Add(22, 50)
+	// Avg of a lightly-loaded sketch should be near exact.
+	if got := cr.EstimateAvg(11); got < 100 || got > 150 {
+		t.Fatalf("EstimateAvg(11) = %d", got)
+	}
+}
+
+func TestCRPrecisMerge(t *testing.T) {
+	a := NewCRPrecis(4, 31, 16)
+	b := NewCRPrecis(4, 31, 16)
+	a.Add(9, 5)
+	b.Add(9, 6)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Estimate(9); got != 11 {
+		t.Fatalf("merged estimate = %d, want 11", got)
+	}
+	c := NewCRPrecis(3, 31, 16)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merge with mismatched rows accepted")
+	}
+}
+
+func TestCRPrecisCellIndexConsistent(t *testing.T) {
+	cr := NewCRPrecis(4, 17, 16)
+	cr.Add(33, 9)
+	flat := make(map[uint64]int64)
+	for i, v := range cr.cells {
+		if v != 0 {
+			flat[uint64(i)] = v
+		}
+	}
+	got := cr.EstimateFromCells(func(c uint64) int64 { return flat[c] }, 33)
+	if got != cr.Estimate(33) {
+		t.Fatalf("EstimateFromCells = %d, Estimate = %d", got, cr.Estimate(33))
+	}
+}
+
+func TestSketchConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"cm-width":  func() { NewCountMin(0, 1, 1) },
+		"cm-depth":  func() { NewCountMin(8, 0, 1) },
+		"cm-eps":    func() { NewCountMinForError(0, 1, 1) },
+		"cr-rows":   func() { NewCRPrecis(0, 13, 16) },
+		"cr-width":  func() { NewCRPrecis(2, 1, 16) },
+		"cr-bits":   func() { NewCRPrecis(2, 13, 0) },
+		"cr-bits2":  func() { NewCRPrecis(2, 13, 64) },
+		"cr-eps":    func() { NewCRPrecisForError(1.5, 16) },
+		"hash-zero": func() { NewPairwiseHash(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkCountMinAdd(b *testing.B) {
+	cm := NewCountMinForError(0.01, 3, 1)
+	for i := 0; i < b.N; i++ {
+		cm.Add(uint64(i), 1)
+	}
+}
+
+func BenchmarkCRPrecisAdd(b *testing.B) {
+	cr := NewCRPrecisForError(0.1, 24)
+	for i := 0; i < b.N; i++ {
+		cr.Add(uint64(i), 1)
+	}
+}

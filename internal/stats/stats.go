@@ -1,0 +1,180 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: summary statistics over repeated trials, quantiles,
+// histograms, and log-log regression for growth-rate (scaling-exponent)
+// checks against the paper's asymptotic bounds.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the moments of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Var    float64 // unbiased sample variance
+	Min    float64
+	Max    float64
+	StdErr float64 // standard error of the mean
+}
+
+// Summarize computes summary statistics of xs. It panics on empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Var = ss / float64(s.N-1)
+		s.StdErr = math.Sqrt(s.Var / float64(s.N))
+	}
+	return s
+}
+
+// String renders "mean ± stderr".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g", s.Mean, s.StdErr)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It panics on empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q >= 1 {
+		q = 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Fit is a least-squares line y = A + B·x.
+type Fit struct {
+	A, B float64
+	R2   float64
+}
+
+// LinearFit fits y = A + B·x by ordinary least squares. It panics unless
+// len(xs) == len(ys) ≥ 2.
+func LinearFit(xs, ys []float64) Fit {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("stats: LinearFit needs two equal-length samples of size >= 2")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		panic("stats: LinearFit with degenerate x values")
+	}
+	b := (n*sxy - sx*sy) / denom
+	a := (sy - b*sx) / n
+	// R² from the correlation coefficient.
+	varY := n*syy - sy*sy
+	r2 := 1.0
+	if varY > 0 {
+		r := (n*sxy - sx*sy) / math.Sqrt(denom*varY)
+		r2 = r * r
+	}
+	return Fit{A: a, B: b, R2: r2}
+}
+
+// PowerLawExponent estimates b in y ≈ c·x^b by log-log regression,
+// returning the exponent and R². Inputs must be positive.
+func PowerLawExponent(xs, ys []float64) (exponent, r2 float64) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			panic("stats: PowerLawExponent needs positive samples")
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	f := LinearFit(lx, ly)
+	return f.B, f.R2
+}
+
+// Histogram bins xs into `bins` equal-width buckets over [min, max] and
+// returns the counts plus the bucket edges (len bins+1).
+func Histogram(xs []float64, bins int) (counts []int, edges []float64) {
+	if bins <= 0 {
+		panic("stats: Histogram needs bins > 0")
+	}
+	s := Summarize(xs)
+	counts = make([]int, bins)
+	edges = make([]float64, bins+1)
+	width := (s.Max - s.Min) / float64(bins)
+	if width == 0 {
+		width = 1
+	}
+	for i := range edges {
+		edges[i] = s.Min + float64(i)*width
+	}
+	for _, x := range xs {
+		b := int((x - s.Min) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	return counts, edges
+}
+
+// RatioSummary summarizes elementwise ys[i]/xs[i]; used to check that a
+// measured series tracks a theoretical one by a stable constant.
+func RatioSummary(ys, xs []float64) Summary {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic("stats: RatioSummary needs equal nonempty samples")
+	}
+	r := make([]float64, len(xs))
+	for i := range xs {
+		if xs[i] == 0 {
+			panic("stats: RatioSummary division by zero")
+		}
+		r[i] = ys[i] / xs[i]
+	}
+	return Summarize(r)
+}

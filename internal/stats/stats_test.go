@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if math.Abs(s.Var-2.5) > 1e-12 {
+		t.Fatalf("Var = %v, want 2.5", s.Var)
+	}
+	if math.Abs(s.StdErr-math.Sqrt(0.5)) > 1e-12 {
+		t.Fatalf("StdErr = %v", s.StdErr)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Var != 0 || s.StdErr != 0 {
+		t.Fatalf("single-sample summary %+v", s)
+	}
+}
+
+func TestSummarizePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Median(xs); q != 3 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Fatalf("q.25 = %v", q)
+	}
+	// Interpolation between order statistics.
+	if q := Quantile([]float64{0, 10}, 0.3); math.Abs(q-3) > 1e-12 {
+		t.Fatalf("interpolated q = %v", q)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = src.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0001; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 3 + 2x
+	f := LinearFit(xs, ys)
+	if math.Abs(f.A-3) > 1e-9 || math.Abs(f.B-2) > 1e-9 {
+		t.Fatalf("fit = %+v", f)
+	}
+	if math.Abs(f.R2-1) > 1e-9 {
+		t.Fatalf("R2 = %v", f.R2)
+	}
+}
+
+func TestLinearFitNoise(t *testing.T) {
+	src := rng.New(9)
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 1.5*xs[i] - 20 + src.Normal()*3
+	}
+	f := LinearFit(xs, ys)
+	if math.Abs(f.B-1.5) > 0.02 {
+		t.Fatalf("slope = %v, want ~1.5", f.B)
+	}
+	if f.R2 < 0.99 {
+		t.Fatalf("R2 = %v", f.R2)
+	}
+}
+
+func TestPowerLawExponent(t *testing.T) {
+	// y = 2·x^0.5 exactly.
+	xs := []float64{1, 4, 9, 16, 100, 400}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 * math.Sqrt(x)
+	}
+	b, r2 := PowerLawExponent(xs, ys)
+	if math.Abs(b-0.5) > 1e-9 || r2 < 0.999999 {
+		t.Fatalf("exponent = %v, R2 = %v", b, r2)
+	}
+}
+
+func TestPowerLawExponentPanicsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PowerLawExponent([]float64{1, -2}, []float64{1, 2})
+}
+
+func TestHistogram(t *testing.T) {
+	counts, edges := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if len(counts) != 5 || len(edges) != 6 {
+		t.Fatalf("histogram shape: %v %v", counts, edges)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("histogram lost samples: %v", counts)
+	}
+	// Uniform data → 2 per bucket.
+	for i, c := range counts {
+		if c != 2 {
+			t.Fatalf("bucket %d = %d: %v", i, c, counts)
+		}
+	}
+}
+
+func TestHistogramConstantData(t *testing.T) {
+	counts, _ := Histogram([]float64{3, 3, 3}, 4)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("constant-data histogram lost samples: %v", counts)
+	}
+}
+
+func TestRatioSummary(t *testing.T) {
+	s := RatioSummary([]float64{2, 4, 6}, []float64{1, 2, 3})
+	if math.Abs(s.Mean-2) > 1e-12 || s.Var > 1e-12 {
+		t.Fatalf("RatioSummary = %+v", s)
+	}
+}
+
+func TestRatioSummaryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero denominator")
+		}
+	}()
+	RatioSummary([]float64{1}, []float64{0})
+}

@@ -1,0 +1,175 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRoundtrip(t *testing.T) {
+	orig := Collect(NewAssign(RandomWalk(5000, 3), NewRoundRobin(7)))
+	var buf bytes.Buffer
+	n, err := WriteTrace(&buf, NewSlice(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(orig)) {
+		t.Fatalf("wrote %d updates, want %d", n, len(orig))
+	}
+	tr, err := NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(tr)
+	if tr.Err() != nil {
+		t.Fatal(tr.Err())
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("read %d updates, want %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i] != orig[i] {
+			t.Fatalf("update %d: %+v vs %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestTraceRoundtripItems(t *testing.T) {
+	orig := Collect(NewAssign(NewItemGen(3000, 100, 1.0, 0.3, 5), NewUniformRandom(4, 9)))
+	var buf bytes.Buffer
+	if _, err := WriteTrace(&buf, NewSlice(orig)); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(tr)
+	for i := range got {
+		if got[i] != orig[i] {
+			t.Fatalf("update %d: %+v vs %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	// A ±1 round-robin trace should take only a few bytes per update.
+	orig := Collect(NewAssign(RandomWalk(10000, 1), NewRoundRobin(4)))
+	var buf bytes.Buffer
+	if _, err := WriteTrace(&buf, NewSlice(orig)); err != nil {
+		t.Fatal(err)
+	}
+	if perUpdate := float64(buf.Len()) / 10000; perUpdate > 4 {
+		t.Fatalf("trace takes %.1f bytes/update", perUpdate)
+	}
+}
+
+func TestTraceRejectsBadMagic(t *testing.T) {
+	if _, err := NewTraceReader(bytes.NewReader([]byte("notatrace..."))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewTraceReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestTraceTruncatedRecord(t *testing.T) {
+	orig := Collect(Monotone(10))
+	var buf bytes.Buffer
+	if _, err := WriteTrace(&buf, NewSlice(orig)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-1] // drop the final byte
+	tr, err := NewTraceReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Collect(tr)
+	if tr.Err() == nil {
+		t.Fatal("truncated record not reported")
+	}
+}
+
+func TestTraceRoundtripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		orig := Collect(NewAssign(BiasedWalk(300, 0.2, seed), NewSkewed(5, 1.1, seed)))
+		var buf bytes.Buffer
+		if _, err := WriteTrace(&buf, NewSlice(orig)); err != nil {
+			return false
+		}
+		tr, err := NewTraceReader(&buf)
+		if err != nil {
+			return false
+		}
+		got := Collect(tr)
+		if len(got) != len(orig) || tr.Err() != nil {
+			return false
+		}
+		for i := range got {
+			if got[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBurstyMostlyMonotone(t *testing.T) {
+	got := Collect(Bursty(50000, 0.001, 20, 7))
+	var plus, minus int64
+	var f int64
+	for _, u := range got {
+		f += u.Delta
+		if f < 0 {
+			t.Fatalf("bursty stream went negative at t=%d", u.T)
+		}
+		if u.Delta > 0 {
+			plus++
+		} else {
+			minus++
+		}
+	}
+	if minus == 0 {
+		t.Fatal("no bursts generated")
+	}
+	if minus > plus/4 {
+		t.Fatalf("too much burst mass: +%d −%d", plus, minus)
+	}
+}
+
+func TestMeanRevertingHoversAtLevel(t *testing.T) {
+	level := int64(500)
+	got := Collect(MeanReverting(100000, level, 0.5, 11))
+	vals := Values(got)
+	// After warmup, values should stay within a band around the level.
+	inBand := 0
+	for _, v := range vals[20000:] {
+		if v > level/2 && v < level*2 {
+			inBand++
+		}
+	}
+	if frac := float64(inBand) / float64(len(vals)-20000); frac < 0.95 {
+		t.Fatalf("mean-reverting stream in band only %v of the time", frac)
+	}
+}
+
+func TestExtraGeneratorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bursty-len":  func() { Bursty(10, 0.1, 0, 1) },
+		"mr-level":    func() { MeanReverting(10, 0, 0.5, 1) },
+		"mr-theta":    func() { MeanReverting(10, 5, 2, 1) },
+		"mr-negtheta": func() { MeanReverting(10, 5, -1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

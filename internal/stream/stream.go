@@ -1,0 +1,141 @@
+// Package stream defines the update-stream model of Felber & Ostrovsky
+// ("Variability in data streams", PODS 2016) and provides generators for
+// every input class the paper analyzes.
+//
+// Time occurs in discrete steps 1, 2, ..., n. At each step t a single update
+// f'(t) = f(t) − f(t−1) arrives at one site i(t) of the k sites. The tracked
+// function starts at f(0) = 0 unless a generator states otherwise.
+//
+// A Stream yields updates one at a time; a Assigner decides which site
+// receives each update. Generators are deterministic given their seed, so
+// every experiment is reproducible.
+package stream
+
+// Update is one element of the update stream f'(n).
+type Update struct {
+	// T is the timestep, starting at 1.
+	T int64
+	// Site is the index in [0, k) of the site receiving the update.
+	Site int
+	// Delta is f'(T) = f(T) − f(T−1). The core algorithms of the paper
+	// assume Delta = ±1; larger magnitudes are handled by the splitter in
+	// internal/track (appendix C of the paper).
+	Delta int64
+	// Item is the item identifier for frequency-tracking streams
+	// (appendix H). For plain counting streams it is 0.
+	Item uint64
+}
+
+// Stream produces updates in timestep order. Implementations are not safe
+// for concurrent use.
+type Stream interface {
+	// Next returns the next update and true, or a zero Update and false
+	// when the stream is exhausted.
+	Next() (Update, bool)
+}
+
+// Slice is a Stream over a pre-materialized slice of updates.
+type Slice struct {
+	updates []Update
+	pos     int
+}
+
+// NewSlice returns a Stream that yields the given updates in order.
+func NewSlice(updates []Update) *Slice { return &Slice{updates: updates} }
+
+// Next implements Stream.
+func (s *Slice) Next() (Update, bool) {
+	if s.pos >= len(s.updates) {
+		return Update{}, false
+	}
+	u := s.updates[s.pos]
+	s.pos++
+	return u, true
+}
+
+// Len returns the total number of updates in the underlying slice.
+func (s *Slice) Len() int { return len(s.updates) }
+
+// Reset rewinds the stream to the beginning.
+func (s *Slice) Reset() { s.pos = 0 }
+
+// Collect drains a stream into a slice. It is intended for tests and for
+// experiments that need to replay the same stream against several trackers.
+func Collect(s Stream) []Update {
+	var out []Update
+	for {
+		u, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, u)
+	}
+}
+
+// Values returns the prefix values f(1..n) implied by a slice of updates,
+// starting from f(0) = 0.
+func Values(updates []Update) []int64 {
+	vals := make([]int64, len(updates))
+	var f int64
+	for i, u := range updates {
+		f += u.Delta
+		vals[i] = f
+	}
+	return vals
+}
+
+// FinalValue returns f(n) implied by a slice of updates from f(0) = 0.
+func FinalValue(updates []Update) int64 {
+	var f int64
+	for _, u := range updates {
+		f += u.Delta
+	}
+	return f
+}
+
+// Limit wraps a stream and stops it after n updates.
+type Limit struct {
+	inner Stream
+	left  int64
+}
+
+// NewLimit returns a stream yielding at most n updates of inner.
+func NewLimit(inner Stream, n int64) *Limit { return &Limit{inner: inner, left: n} }
+
+// Next implements Stream.
+func (l *Limit) Next() (Update, bool) {
+	if l.left <= 0 {
+		return Update{}, false
+	}
+	u, ok := l.inner.Next()
+	if !ok {
+		return Update{}, false
+	}
+	l.left--
+	return u, true
+}
+
+// Concat yields the updates of each stream in turn, renumbering timesteps so
+// the concatenation is a single consistent stream starting at T=1.
+type Concat struct {
+	streams []Stream
+	idx     int
+	t       int64
+}
+
+// NewConcat concatenates the given streams.
+func NewConcat(streams ...Stream) *Concat { return &Concat{streams: streams} }
+
+// Next implements Stream.
+func (c *Concat) Next() (Update, bool) {
+	for c.idx < len(c.streams) {
+		u, ok := c.streams[c.idx].Next()
+		if ok {
+			c.t++
+			u.T = c.t
+			return u, true
+		}
+		c.idx++
+	}
+	return Update{}, false
+}

@@ -1,0 +1,108 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace file I/O: record a workload once, replay it against any tracker.
+// The format is a magic header followed by delta-varint encoded updates
+// (timestep gaps are implicit — updates are consecutive — so each record
+// is site gap, delta, item gap), making recorded traces a few bytes per
+// update. cmd tools and tests use this to compare algorithms on identical
+// workloads across processes.
+
+// traceMagic identifies trace files (format version 1).
+var traceMagic = [8]byte{'s', 't', 'r', 'v', 'a', 'r', '0', '1'}
+
+// WriteTrace serializes all updates of s to w. It returns the number of
+// updates written.
+func WriteTrace(w io.Writer, s Stream) (int64, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return 0, err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	var count int64
+	var prevSite int64
+	var prevItem uint64
+	for {
+		u, ok := s.Next()
+		if !ok {
+			break
+		}
+		n := binary.PutVarint(tmp[:], int64(u.Site)-prevSite)
+		if _, err := bw.Write(tmp[:n]); err != nil {
+			return count, err
+		}
+		n = binary.PutVarint(tmp[:], u.Delta)
+		if _, err := bw.Write(tmp[:n]); err != nil {
+			return count, err
+		}
+		n = binary.PutVarint(tmp[:], int64(u.Item)-int64(prevItem))
+		if _, err := bw.Write(tmp[:n]); err != nil {
+			return count, err
+		}
+		prevSite = int64(u.Site)
+		prevItem = u.Item
+		count++
+	}
+	return count, bw.Flush()
+}
+
+// TraceReader replays a trace written by WriteTrace as a Stream.
+type TraceReader struct {
+	br       *bufio.Reader
+	t        int64
+	prevSite int64
+	prevItem uint64
+	err      error
+}
+
+// NewTraceReader validates the header and returns a reader positioned at
+// the first update.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("stream: reading trace header: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("stream: not a trace file (magic %q)", magic[:])
+	}
+	return &TraceReader{br: br}, nil
+}
+
+// Next implements Stream.
+func (tr *TraceReader) Next() (Update, bool) {
+	if tr.err != nil {
+		return Update{}, false
+	}
+	dsite, err := binary.ReadVarint(tr.br)
+	if err != nil {
+		if err != io.EOF {
+			tr.err = err
+		}
+		return Update{}, false
+	}
+	delta, err := binary.ReadVarint(tr.br)
+	if err != nil {
+		tr.err = fmt.Errorf("stream: truncated trace record: %w", err)
+		return Update{}, false
+	}
+	ditem, err := binary.ReadVarint(tr.br)
+	if err != nil {
+		tr.err = fmt.Errorf("stream: truncated trace record: %w", err)
+		return Update{}, false
+	}
+	tr.prevSite += dsite
+	tr.prevItem = uint64(int64(tr.prevItem) + ditem)
+	tr.t++
+	return Update{T: tr.t, Site: int(tr.prevSite), Delta: delta, Item: tr.prevItem}, true
+}
+
+// Err returns the first decoding error encountered, if any. A clean EOF is
+// not an error.
+func (tr *TraceReader) Err() error { return tr.err }

@@ -1,0 +1,206 @@
+// Package track implements the distributed tracking algorithms of the paper:
+// the block partitioning of time (§3.1), the deterministic in-block tracker
+// (§3.3, O(k·v/ε) messages), the randomized in-block tracker (§3.4,
+// O((k+√k/ε)·v) messages), the single-site aggregate tracker (appendix I),
+// and the baseline algorithms the paper compares against (naive forwarding,
+// Cormode-Muthukrishnan-Yi-style and Huang-Yi-Zhang-style monotone counters,
+// and a Liu-Radunović-Vojnović-style sampling tracker).
+//
+// All trackers are pluggable pairs of dist.SiteAlgo / dist.CoordAlgo and run
+// unchanged on the synchronous simulator or the TCP transport.
+package track
+
+import (
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/stream"
+)
+
+// InBlockSite is the site half of a per-block estimator plugged into the
+// partitioner. The partitioner calls Reset at every block boundary with the
+// new exponent r (the Outbox lets estimators emit end-of-block reports, as
+// the appendix-H frequency tracker does), and OnUpdate for each in-block
+// stream update.
+type InBlockSite interface {
+	Reset(r int64, out dist.Outbox)
+	OnUpdate(u stream.Update, out dist.Outbox)
+}
+
+// InBlockCoord is the coordinator half of a per-block estimator. Drift
+// returns the estimate of f(n) − f(n_j) accumulated during the current
+// block.
+type InBlockCoord interface {
+	Reset(r int64)
+	OnMessage(m dist.Msg)
+	Drift() int64
+}
+
+// ceilPow2Half returns ⌈2^{r−1}⌉: the batch size for count reports in a
+// block with exponent r. For r = 0 this is ⌈1/2⌉ = 1.
+func ceilPow2Half(r int64) int64 {
+	if r <= 0 {
+		return 1
+	}
+	return int64(1) << uint(r-1)
+}
+
+// blockExponent returns the exponent r chosen at the end of a block per
+// §3.1: r = 0 if |f| < 4k, else the r ≥ 1 with 2^r·2k ≤ |f| < 2^r·4k.
+func blockExponent(f int64, k int) int64 {
+	af := f
+	if af < 0 {
+		af = -af
+	}
+	kk := int64(k)
+	if af < 4*kk {
+		return 0
+	}
+	r := int64(1)
+	for af >= (int64(1)<<uint(r))*4*kk {
+		r++
+	}
+	return r
+}
+
+// BlockSite runs the §3.1 partition protocol at one site and delegates
+// in-block estimation to an InBlockSite.
+type BlockSite struct {
+	id    int32
+	inner InBlockSite
+	r     int64
+	batch int64 // ⌈2^{r−1}⌉
+	ci    int64 // updates since the last count report or state reply
+	fi    int64 // net change in f since the last block broadcast
+}
+
+// NewBlockSite wraps inner with the partition protocol for site id.
+func NewBlockSite(id int, inner InBlockSite) *BlockSite {
+	s := &BlockSite{id: int32(id), inner: inner, batch: ceilPow2Half(0)}
+	inner.Reset(0, nil)
+	return s
+}
+
+// OnUpdate implements dist.SiteAlgo.
+func (s *BlockSite) OnUpdate(u stream.Update, out dist.Outbox) {
+	s.ci++
+	s.fi += u.Delta
+	s.inner.OnUpdate(u, out)
+	if s.ci >= s.batch {
+		out.Send(dist.Msg{Kind: dist.KindCountReport, Site: s.id, A: s.ci})
+		s.ci = 0
+	}
+}
+
+// OnMessage implements dist.SiteAlgo.
+func (s *BlockSite) OnMessage(m dist.Msg, out dist.Outbox) {
+	switch m.Kind {
+	case dist.KindStateRequest:
+		out.Send(dist.Msg{Kind: dist.KindStateReply, Site: s.id, A: s.ci, B: s.fi})
+		s.ci = 0
+	case dist.KindNewBlock:
+		s.r = m.A
+		s.batch = ceilPow2Half(s.r)
+		s.fi = 0
+		s.inner.Reset(s.r, out)
+	}
+}
+
+// BlockCoord runs the §3.1 partition protocol at the coordinator and
+// delegates in-block estimation to an InBlockCoord. Its estimate is
+// f(n_j) + inner.Drift().
+type BlockCoord struct {
+	k     int
+	inner InBlockCoord
+
+	r    int64
+	fnj  int64 // exact f at the last block boundary
+	tj   int64 // block-end threshold ⌈2^{r−1}⌉·k
+	that int64 // t̂: updates heard of since the block began
+
+	collecting bool
+	replies    int
+	fDelta     int64 // Σ f_i accumulated from state replies
+
+	// Diagnostics for experiments and tests.
+	blocks     int64   // completed blocks
+	blockStart []int64 // f(n_j) at each completed boundary (incl. initial 0)
+	rHistory   []int64 // exponent of each completed block
+}
+
+// NewBlockCoord wraps inner with the partition protocol for k sites.
+func NewBlockCoord(k int, inner InBlockCoord) *BlockCoord {
+	c := &BlockCoord{k: k, inner: inner, tj: ceilPow2Half(0) * int64(k)}
+	c.blockStart = append(c.blockStart, 0)
+	inner.Reset(0)
+	return c
+}
+
+// OnMessage implements dist.CoordAlgo.
+func (c *BlockCoord) OnMessage(m dist.Msg, out dist.Outbox) {
+	switch m.Kind {
+	case dist.KindCountReport:
+		c.that += m.A
+		if !c.collecting && c.that >= c.tj {
+			c.collecting = true
+			c.replies = 0
+			c.fDelta = 0
+			out.Broadcast(dist.Msg{Kind: dist.KindStateRequest, Site: dist.CoordID})
+		}
+	case dist.KindStateReply:
+		if !c.collecting {
+			return
+		}
+		c.that += m.A
+		c.fDelta += m.B
+		c.replies++
+		if c.replies == c.k {
+			c.finishBlock(out)
+		}
+	default:
+		c.inner.OnMessage(m)
+	}
+}
+
+// finishBlock closes block j: f(n_j+1) is now known exactly, a new exponent
+// is chosen, and the new block is broadcast.
+func (c *BlockCoord) finishBlock(out dist.Outbox) {
+	c.fnj += c.fDelta
+	c.r = blockExponent(c.fnj, c.k)
+	c.tj = ceilPow2Half(c.r) * int64(c.k)
+	c.that = 0
+	c.collecting = false
+	c.blocks++
+	c.blockStart = append(c.blockStart, c.fnj)
+	c.rHistory = append(c.rHistory, c.r)
+	out.Broadcast(dist.Msg{Kind: dist.KindNewBlock, Site: dist.CoordID, A: c.r, B: c.fnj})
+	c.inner.Reset(c.r)
+}
+
+// Estimate implements dist.CoordAlgo.
+func (c *BlockCoord) Estimate() int64 { return c.fnj + c.inner.Drift() }
+
+// Blocks returns the number of completed blocks.
+func (c *BlockCoord) Blocks() int64 { return c.blocks }
+
+// R returns the current block exponent.
+func (c *BlockCoord) R() int64 { return c.r }
+
+// BlockBoundaryValues returns f(n_j) at each completed block boundary,
+// starting with f(n_0) = 0.
+func (c *BlockCoord) BlockBoundaryValues() []int64 { return c.blockStart }
+
+// RHistory returns the exponent chosen at the start of each completed block.
+func (c *BlockCoord) RHistory() []int64 { return c.rHistory }
+
+// epsThreshold returns the in-block send threshold ε·2^r, floored at 1 so a
+// single ±1 update can always trigger (the r = 0 "|δ_i| = 1" condition and
+// the r ≥ 1 "|δ_i| ≥ ε·2^r" condition coincide under this floor whenever
+// ε·2^r ≤ 1, exactly as in §3.3).
+func epsThreshold(eps float64, r int64) float64 {
+	t := eps * math.Pow(2, float64(r))
+	if t < 1 {
+		return 1
+	}
+	return t
+}

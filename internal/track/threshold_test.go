@@ -1,0 +1,95 @@
+package track
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/stream"
+)
+
+func TestThresholdMonitorPromise(t *testing.T) {
+	// Whenever the true value is at or above τ the monitor must say Above;
+	// whenever it is at or below (1−ε)τ it must say Below. In between,
+	// either answer is allowed.
+	k, eps := 4, 0.3
+	tau := int64(3000)
+	m, sites := NewThresholdMonitor(k, eps, tau)
+	sim := dist.NewSim(m, sites)
+
+	// A sawtooth that repeatedly crosses τ in both directions.
+	st := stream.NewAssign(stream.Sawtooth(200000, 4000, 3800), stream.NewRoundRobin(k))
+	var f int64
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		sim.Step(u)
+		f += u.Delta
+		state := m.State()
+		if f >= tau && state != Above {
+			t.Fatalf("t=%d: f=%d ≥ τ but monitor says %v", u.T, f, state)
+		}
+		if float64(f) <= (1-eps)*float64(tau) && state != Below {
+			t.Fatalf("t=%d: f=%d ≤ (1−ε)τ but monitor says %v", u.T, f, state)
+		}
+	}
+}
+
+func TestThresholdMonitorRandomWalks(t *testing.T) {
+	k, eps := 3, 0.2
+	tau := int64(200)
+	for seed := uint64(1); seed <= 3; seed++ {
+		m, sites := NewThresholdMonitor(k, eps, tau)
+		sim := dist.NewSim(m, sites)
+		st := stream.NewAssign(stream.RandomWalk(50000, seed), stream.NewRoundRobin(k))
+		var f int64
+		for {
+			u, ok := st.Next()
+			if !ok {
+				break
+			}
+			sim.Step(u)
+			f += u.Delta
+			state := m.State()
+			if f >= tau && state != Above {
+				t.Fatalf("seed=%d t=%d: f=%d ≥ τ but %v", seed, u.T, f, state)
+			}
+			if float64(f) <= (1-eps)*float64(tau) && state != Below {
+				t.Fatalf("seed=%d t=%d: f=%d ≤ (1−ε)τ but %v", seed, u.T, f, state)
+			}
+		}
+	}
+}
+
+func TestThresholdMonitorAccessors(t *testing.T) {
+	m, _ := NewThresholdMonitor(2, 0.1, 500)
+	if m.Tau() != 500 {
+		t.Fatalf("Tau = %d", m.Tau())
+	}
+	if m.Estimate() != 0 {
+		t.Fatalf("initial estimate %d", m.Estimate())
+	}
+	if m.State() != Below {
+		t.Fatal("initial state should be Below")
+	}
+	if Below.String() != "below" || Above.String() != "above" {
+		t.Fatal("state strings wrong")
+	}
+}
+
+func TestThresholdMonitorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"tau": func() { NewThresholdMonitor(1, 0.1, 0) },
+		"eps": func() { NewThresholdMonitor(1, 0, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
