@@ -1,0 +1,32 @@
+package dist
+
+import "repro/internal/stream"
+
+// Outbox is how an algorithm emits messages. The runtime (Sim or the TCP
+// transport) routes them through the star topology.
+type Outbox interface {
+	// Send delivers to the node's peer: the coordinator when called at a
+	// site, every site (a broadcast) when called at the coordinator.
+	Send(m Msg)
+	// SendTo delivers to one site by id. Only meaningful at the
+	// coordinator; at a site it is equivalent to Send.
+	SendTo(site int, m Msg)
+	// Broadcast delivers to every site when called at the coordinator;
+	// at a site it is equivalent to Send.
+	Broadcast(m Msg)
+}
+
+// CoordAlgo is the coordinator half of a tracking algorithm. OnMessage is
+// invoked for every site message; Estimate must return the current f̂ and
+// be callable at any quiescent point.
+type CoordAlgo interface {
+	OnMessage(m Msg, out Outbox)
+	Estimate() int64
+}
+
+// SiteAlgo is the site half of a tracking algorithm. OnUpdate is invoked
+// for each local stream update, OnMessage for each coordinator message.
+type SiteAlgo interface {
+	OnUpdate(u stream.Update, out Outbox)
+	OnMessage(m Msg, out Outbox)
+}

@@ -1,0 +1,105 @@
+package dist
+
+import "encoding/binary"
+
+// Kind tags the protocol role of a message.
+type Kind uint8
+
+// The message kinds of the tracking protocols. A Msg's payload fields are
+// interpreted per kind; see the field comments on each constant.
+const (
+	// KindNewBlock is broadcast by the §3.1 partition coordinator at a
+	// block boundary: A is the new exponent r, B is f(n_j).
+	KindNewBlock Kind = iota + 1
+	// KindDriftReport carries a site's in-block drift (§3.3/§3.4): A is
+	// the drift value d_i; B disambiguates the A+/A− estimator copy for
+	// the randomized tracker (+1/−1).
+	KindDriftReport
+	// KindFreqReport carries a per-counter delta (appendix H): Item is
+	// the counter cell, A the delta (B tags the ± copy when sampled).
+	KindFreqReport
+	// KindFreqEnd re-establishes a heavy counter across a block boundary
+	// (appendix H): Item is the cell, A its exact value.
+	KindFreqEnd
+	// KindCountReport carries a site's batched update count (§3.1): A is
+	// the number of updates since the last report.
+	KindCountReport
+	// KindValueReport carries an exact aggregate value (appendix I): A is
+	// f at the reporting site.
+	KindValueReport
+	// KindStateRequest is broadcast by the partition coordinator to
+	// collect exact end-of-block state from every site.
+	KindStateRequest
+	// KindStateReply answers a state request: A is the site's pending
+	// update count, B its net change in f since the block broadcast.
+	KindStateReply
+)
+
+// Transport-internal kinds. Frames with these kinds never reach algorithms
+// and are excluded from Stats; they share the Msg framing so that every
+// frame on the wire is exactly MsgSize bytes.
+const (
+	kindHello      Kind = 0xF0 // site handshake; Site carries the id
+	kindBarrier    Kind = 0xF1 // flush request; A carries a sequence number
+	kindBarrierAck Kind = 0xF2 // flush acknowledgement; A echoes the sequence
+)
+
+// CoordID identifies the coordinator, both as a message source (Msg.Site
+// on coordinator-originated messages) and as a delivery destination
+// (TranscriptEntry.To).
+const CoordID = -1
+
+// Msg is one protocol message. Site is the sender's id (CoordID for the
+// coordinator); Item addresses a counter cell for frequency tracking; A
+// and B are kind-specific payloads.
+type Msg struct {
+	Kind Kind
+	Site int32
+	Item uint64
+	A, B int64
+}
+
+// MsgSize is the exact wire size of one encoded Msg in bytes:
+// kind (1) + site (4) + item (8) + a (8) + b (8).
+const MsgSize = 29
+
+// EncodeMsg serializes m into its fixed-size big-endian wire frame.
+func EncodeMsg(m Msg) [MsgSize]byte {
+	var b [MsgSize]byte
+	b[0] = byte(m.Kind)
+	binary.BigEndian.PutUint32(b[1:5], uint32(m.Site))
+	binary.BigEndian.PutUint64(b[5:13], m.Item)
+	binary.BigEndian.PutUint64(b[13:21], uint64(m.A))
+	binary.BigEndian.PutUint64(b[21:29], uint64(m.B))
+	return b
+}
+
+// DecodeMsg deserializes a wire frame produced by EncodeMsg.
+func DecodeMsg(b [MsgSize]byte) Msg {
+	return Msg{
+		Kind: Kind(b[0]),
+		Site: int32(binary.BigEndian.Uint32(b[1:5])),
+		Item: binary.BigEndian.Uint64(b[5:13]),
+		A:    int64(binary.BigEndian.Uint64(b[13:21])),
+		B:    int64(binary.BigEndian.Uint64(b[21:29])),
+	}
+}
+
+// compactBits prices m in the paper's O(log n + log f)-bit message model:
+// one kind byte plus varint fields (zig-zag for the signed ones), in bits.
+func compactBits(m Msg) int64 {
+	n := 1 + uvarintLen(zigzag(int64(m.Site))) + uvarintLen(m.Item) +
+		uvarintLen(zigzag(m.A)) + uvarintLen(zigzag(m.B))
+	return int64(n) * 8
+}
+
+func zigzag(x int64) uint64 { return uint64(x<<1) ^ uint64(x>>63) }
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,485 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// writeFrame sends one fixed-size frame.
+func writeFrame(conn net.Conn, m Msg) error {
+	b := EncodeMsg(m)
+	_, err := conn.Write(b[:])
+	return err
+}
+
+// readFrame receives one fixed-size frame.
+func readFrame(conn net.Conn) (Msg, error) {
+	var b [MsgSize]byte
+	if _, err := io.ReadFull(conn, b[:]); err != nil {
+		return Msg{}, err
+	}
+	return DecodeMsg(b), nil
+}
+
+// connWriter owns all writes to one site connection. Frames are enqueued
+// in processing order and written by a dedicated goroutine, so the
+// coordinator never blocks on a full socket buffer while holding its
+// mutex (which would deadlock against a site blocked the same way), yet
+// per-connection FIFO order — the ordering Barrier relies on — is kept.
+type connWriter struct {
+	conn net.Conn
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Msg
+	err    error
+	closed bool
+}
+
+func newConnWriter(conn net.Conn) *connWriter {
+	w := &connWriter{conn: conn}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// enqueue appends a frame for writing. It never blocks.
+func (w *connWriter) enqueue(m Msg) {
+	w.mu.Lock()
+	if !w.closed && w.err == nil {
+		w.queue = append(w.queue, m)
+		w.cond.Signal()
+	}
+	w.mu.Unlock()
+}
+
+// loop drains the queue until the writer is closed or a write fails; the
+// first failure is reported through fail.
+func (w *connWriter) loop(fail func(error)) {
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.closed && w.err == nil {
+			w.cond.Wait()
+		}
+		if w.closed || w.err != nil {
+			w.mu.Unlock()
+			return
+		}
+		m := w.queue[0]
+		w.queue = w.queue[1:]
+		w.mu.Unlock()
+		if err := writeFrame(w.conn, m); err != nil {
+			w.mu.Lock()
+			w.err = err
+			w.mu.Unlock()
+			fail(err)
+			return
+		}
+	}
+}
+
+// close stops the writer, discarding anything still queued.
+func (w *connWriter) close() {
+	w.mu.Lock()
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// Coordinator runs a CoordAlgo behind a TCP listener. All algorithm
+// access, write enqueueing, and stats updates are serialized on one
+// mutex, so frames read from any one site are processed in arrival order
+// and every frame queued to a site happens-after the processing that
+// triggered it; per-connection writers preserve that order on the wire.
+type Coordinator struct {
+	ln   net.Listener
+	k    int
+	algo CoordAlgo
+
+	mu     sync.Mutex
+	conns  []*connWriter
+	stats  Stats
+	err    error
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// ListenCoordinator starts a coordinator for k sites on addr (use port 0
+// for an ephemeral port) and accepts site connections in the background.
+func ListenCoordinator(addr string, k int, algo CoordAlgo) (*Coordinator, error) {
+	if k <= 0 {
+		return nil, errors.New("dist: ListenCoordinator needs k > 0")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{ln: ln, k: k, algo: algo, conns: make([]*connWriter, k)}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the address sites should dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// acceptLoop accepts connections until the listener closes. Connections
+// that fail the handshake (strays, duplicates) are dropped without
+// consuming a site slot, so a legitimate site can always still register.
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.wg.Add(1)
+		go c.serve(conn)
+	}
+}
+
+// serve handles one site connection: a handshake frame naming the site,
+// then data and barrier frames until the connection closes. Connections
+// that fail the handshake — strays, bad ids, duplicates — are dropped
+// without registering and without poisoning the coordinator's error.
+func (c *Coordinator) serve(conn net.Conn) {
+	defer c.wg.Done()
+	hello, err := readFrame(conn)
+	if err != nil || hello.Kind != kindHello {
+		conn.Close()
+		return
+	}
+	id := int(hello.Site)
+	c.mu.Lock()
+	if id < 0 || id >= c.k || c.conns[id] != nil {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	w := newConnWriter(conn)
+	c.conns[id] = w
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		w.loop(c.fail)
+	}()
+
+	for {
+		m, err := readFrame(conn)
+		if err != nil {
+			// Unregister so later traffic to this site surfaces as a
+			// "message to unconnected site" error instead of being
+			// silently discarded while still counted in Stats.
+			c.fail(err)
+			w.close()
+			c.mu.Lock()
+			if c.conns[id] == w {
+				c.conns[id] = nil
+			}
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		switch m.Kind {
+		case kindBarrier:
+			// This goroutine already enqueued (under c.mu, in arrival
+			// order) everything triggered by this site's earlier frames,
+			// so queuing the ack here puts it behind them on the wire:
+			// when the site reads the ack, every prior frame to it has
+			// been delivered in order.
+			w.enqueue(Msg{Kind: kindBarrierAck, Site: int32(id), A: m.A})
+		default:
+			c.mu.Lock()
+			c.stats.add(m, CoordID)
+			c.algo.OnMessage(m, coordOutbox{c})
+			c.mu.Unlock()
+		}
+	}
+}
+
+func (c *Coordinator) fail(err error) {
+	c.mu.Lock()
+	c.failLocked(err)
+	c.mu.Unlock()
+}
+
+// failLocked records the first transport error; expected shutdown errors
+// (EOF from a site closing, anything after Close) are ignored.
+func (c *Coordinator) failLocked(err error) {
+	if c.closed || err == io.EOF {
+		return
+	}
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// writeLocked queues m for one site and accounts it. Callers hold c.mu,
+// which orders enqueues across the serve goroutines; the per-connection
+// writer preserves that order on the wire.
+func (c *Coordinator) writeLocked(site int, m Msg) {
+	if site < 0 || site >= c.k || c.conns[site] == nil {
+		c.failLocked(fmt.Errorf("dist: message to unconnected site %d", site))
+		return
+	}
+	c.conns[site].enqueue(m)
+	c.stats.add(m, int32(site))
+}
+
+// coordOutbox emits coordinator messages; methods run with c.mu held,
+// inside Coordinator.serve's OnMessage dispatch.
+type coordOutbox struct{ c *Coordinator }
+
+// Send implements Outbox (at the coordinator, a broadcast).
+func (o coordOutbox) Send(m Msg) { o.Broadcast(m) }
+
+// SendTo implements Outbox.
+func (o coordOutbox) SendTo(site int, m Msg) { o.c.writeLocked(site, m) }
+
+// Broadcast implements Outbox.
+func (o coordOutbox) Broadcast(m Msg) {
+	for i := 0; i < o.c.k; i++ {
+		o.c.writeLocked(i, m)
+	}
+}
+
+// Estimate returns the coordinator algorithm's current estimate.
+func (c *Coordinator) Estimate() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.algo.Estimate()
+}
+
+// Stats returns the communication counters so far (both directions).
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Err returns the first transport error, if any.
+func (c *Coordinator) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close shuts down the listener and all site connections and waits for the
+// serving goroutines to exit. It returns the first transport error seen
+// before the shutdown began.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := append([]*connWriter(nil), c.conns...)
+	err := c.err
+	c.mu.Unlock()
+	c.ln.Close()
+	for _, w := range conns {
+		if w != nil {
+			w.close()
+			w.conn.Close()
+		}
+	}
+	c.wg.Wait()
+	return err
+}
+
+// NetSite runs a SiteAlgo over one TCP connection to a coordinator. Update
+// calls and inbound coordinator messages are serialized on one mutex, so
+// the algorithm never sees concurrent access and its outbound frames are
+// written in processing order.
+type NetSite struct {
+	conn net.Conn
+	id   int
+	algo SiteAlgo
+
+	mu     sync.Mutex
+	stats  Stats
+	err    error
+	closed bool
+	seq    int64 // barrier sequence numbers issued
+
+	ackMu   sync.Mutex
+	ackCond *sync.Cond
+	acked   int64
+	ackErr  error
+
+	done chan struct{}
+}
+
+// DialNetSite connects site id to the coordinator at addr and serves algo.
+// It returns after the coordinator has registered the site, so once all k
+// dials return, coordinator broadcasts can reach every site.
+func DialNetSite(addr string, id int, algo SiteAlgo) (*NetSite, error) {
+	if id < 0 {
+		return nil, fmt.Errorf("dist: bad site id %d", id)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &NetSite{conn: conn, id: id, algo: algo, done: make(chan struct{})}
+	s.ackCond = sync.NewCond(&s.ackMu)
+	if err := writeFrame(conn, Msg{Kind: kindHello, Site: int32(id)}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go s.readLoop()
+	// The handshake is acknowledged via a first barrier: its ack proves
+	// the coordinator has registered this connection.
+	if err := s.Barrier(); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("dist: handshake with %s failed: %w", addr, err)
+	}
+	return s, nil
+}
+
+func (s *NetSite) readLoop() {
+	defer close(s.done)
+	for {
+		m, err := readFrame(s.conn)
+		if err != nil {
+			s.failRead(err)
+			return
+		}
+		if m.Kind == kindBarrierAck {
+			s.ackMu.Lock()
+			if m.A > s.acked {
+				s.acked = m.A
+			}
+			s.ackCond.Broadcast()
+			s.ackMu.Unlock()
+			continue
+		}
+		s.mu.Lock()
+		s.stats.add(m, int32(s.id))
+		s.algo.OnMessage(m, siteOutbox{s})
+		s.mu.Unlock()
+	}
+}
+
+// failRead records a read error and wakes any barrier waiter so it cannot
+// hang on a dead connection.
+func (s *NetSite) failRead(err error) {
+	s.mu.Lock()
+	closed := s.closed
+	if !closed && err != io.EOF && s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.ackMu.Lock()
+	if s.ackErr == nil {
+		if closed || err == io.EOF {
+			s.ackErr = net.ErrClosed
+		} else {
+			s.ackErr = err
+		}
+	}
+	s.ackCond.Broadcast()
+	s.ackMu.Unlock()
+}
+
+// writeLocked frames m to the coordinator and accounts it. Callers hold
+// s.mu.
+func (s *NetSite) writeLocked(m Msg) {
+	if s.closed || s.err != nil {
+		return
+	}
+	if err := writeFrame(s.conn, m); err != nil {
+		s.err = err
+		return
+	}
+	s.stats.add(m, CoordID)
+}
+
+// siteOutbox emits site messages; methods run with s.mu held. All three
+// directions collapse to "send to the coordinator" in the star topology.
+type siteOutbox struct{ s *NetSite }
+
+// Send implements Outbox.
+func (o siteOutbox) Send(m Msg) { o.s.writeLocked(m) }
+
+// SendTo implements Outbox.
+func (o siteOutbox) SendTo(site int, m Msg) { o.s.writeLocked(m) }
+
+// Broadcast implements Outbox.
+func (o siteOutbox) Broadcast(m Msg) { o.s.writeLocked(m) }
+
+// Update feeds one local stream update to the site algorithm; messages it
+// emits are framed to the coordinator immediately. Transport errors
+// surface on the next Barrier call.
+func (s *NetSite) Update(u stream.Update) {
+	s.mu.Lock()
+	s.algo.OnUpdate(u, siteOutbox{s})
+	s.mu.Unlock()
+}
+
+// Barrier flushes the connection both ways: when it returns, the
+// coordinator has processed every message this site sent before the call,
+// and this site has processed every coordinator message sent to it before
+// the acknowledgement. Responses triggered at other sites need their own
+// barrier; request/reply protocols reach quiescence after a bounded number
+// of rounds of barriers over all sites.
+func (s *NetSite) Barrier() error {
+	s.mu.Lock()
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return err
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.seq++
+	seq := s.seq
+	if err := writeFrame(s.conn, Msg{Kind: kindBarrier, Site: int32(s.id), A: seq}); err != nil {
+		s.err = err
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Unlock()
+
+	s.ackMu.Lock()
+	defer s.ackMu.Unlock()
+	for s.acked < seq && s.ackErr == nil {
+		s.ackCond.Wait()
+	}
+	if s.acked >= seq {
+		return nil
+	}
+	return s.ackErr
+}
+
+// Stats returns this site's view of the traffic it sent and received.
+func (s *NetSite) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close tears down the connection and waits for the reader to exit. Safe
+// to call more than once.
+func (s *NetSite) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.conn.Close()
+	<-s.done
+	return nil
+}

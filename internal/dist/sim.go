@@ -1,0 +1,110 @@
+package dist
+
+import "repro/internal/stream"
+
+// TranscriptEntry is one delivered message as seen by a Sim Recorder: the
+// timestep of the update being processed when delivery happened, the
+// destination (CoordID or a site index), and the message itself.
+type TranscriptEntry struct {
+	T   int64
+	To  int32
+	Msg Msg
+}
+
+// Sim is the synchronous single-process scheduler. Each Step delivers one
+// update to its site and then drains all triggered messages, FIFO, to
+// quiescence, so Estimate reflects every message the prefix caused —
+// exactly the synchronous model the paper's per-step guarantee assumes.
+type Sim struct {
+	// Recorder, when non-nil, observes every delivered message in
+	// delivery order. Entries for one Step share its timestep, so
+	// timesteps are nondecreasing across the transcript.
+	Recorder func(TranscriptEntry)
+
+	coord CoordAlgo
+	sites []SiteAlgo
+	stats Stats
+	t     int64
+	queue []envelope
+}
+
+// envelope is a queued delivery.
+type envelope struct {
+	to  int32
+	msg Msg
+}
+
+// NewSim builds a simulator over a coordinator and its k site algorithms.
+func NewSim(coord CoordAlgo, sites []SiteAlgo) *Sim {
+	if coord == nil || len(sites) == 0 {
+		panic("dist: NewSim needs a coordinator and at least one site")
+	}
+	return &Sim{coord: coord, sites: sites}
+}
+
+// Step feeds one update to its assigned site and runs the network to
+// quiescence before returning.
+func (s *Sim) Step(u stream.Update) {
+	s.t = u.T
+	s.sites[u.Site].OnUpdate(u, simOutbox{s: s, from: int32(u.Site)})
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		s.queue = s.queue[1:]
+		s.deliver(e)
+	}
+}
+
+// Estimate returns the coordinator's current estimate f̂.
+func (s *Sim) Estimate() int64 { return s.coord.Estimate() }
+
+// Stats returns the communication counters so far.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// deliver accounts, records, and dispatches one message. Handlers may
+// enqueue further messages; the Step loop drains them in FIFO order.
+func (s *Sim) deliver(e envelope) {
+	s.stats.add(e.msg, e.to)
+	if s.Recorder != nil {
+		s.Recorder(TranscriptEntry{T: s.t, To: e.to, Msg: e.msg})
+	}
+	if e.to == CoordID {
+		s.coord.OnMessage(e.msg, simOutbox{s: s, from: CoordID})
+	} else {
+		s.sites[e.to].OnMessage(e.msg, simOutbox{s: s, from: e.to})
+	}
+}
+
+// simOutbox routes messages for the node `from` (CoordID or a site index).
+type simOutbox struct {
+	s    *Sim
+	from int32
+}
+
+// Send implements Outbox.
+func (o simOutbox) Send(m Msg) {
+	if o.from == CoordID {
+		o.Broadcast(m)
+		return
+	}
+	o.s.queue = append(o.s.queue, envelope{to: CoordID, msg: m})
+}
+
+// SendTo implements Outbox.
+func (o simOutbox) SendTo(site int, m Msg) {
+	if o.from != CoordID {
+		o.Send(m)
+		return
+	}
+	o.s.queue = append(o.s.queue, envelope{to: int32(site), msg: m})
+}
+
+// Broadcast implements Outbox.
+func (o simOutbox) Broadcast(m Msg) {
+	if o.from != CoordID {
+		o.Send(m)
+		return
+	}
+	for i := range o.s.sites {
+		o.s.queue = append(o.s.queue, envelope{to: int32(i), msg: m})
+	}
+}

@@ -1,0 +1,31 @@
+package dist
+
+// Stats counts the communication of one run. Both runtimes account
+// identically: every delivered algorithm message increments exactly one
+// directional counter, adds MsgSize wire bytes, and adds its compact
+// varint size to CompactBits. Broadcasts count once per recipient.
+type Stats struct {
+	// SiteToCoord counts messages delivered to the coordinator.
+	SiteToCoord int64
+	// CoordToSite counts messages delivered to sites.
+	CoordToSite int64
+	// Bytes is the wire volume: MsgSize bytes per message.
+	Bytes int64
+	// CompactBits prices the same messages in the paper's
+	// O(log n + log f) bit model (varint encoding; see compactBits).
+	CompactBits int64
+}
+
+// Total returns the message count over both directions.
+func (s Stats) Total() int64 { return s.SiteToCoord + s.CoordToSite }
+
+// add accounts one message delivered to `to` (CoordID or a site index).
+func (s *Stats) add(m Msg, to int32) {
+	if to == CoordID {
+		s.SiteToCoord++
+	} else {
+		s.CoordToSite++
+	}
+	s.Bytes += MsgSize
+	s.CompactBits += compactBits(m)
+}

@@ -98,10 +98,15 @@ func (s *BlockSite) OnMessage(m dist.Msg, out dist.Outbox) {
 	case dist.KindStateRequest:
 		out.Send(dist.Msg{Kind: dist.KindStateReply, Site: s.id, A: s.ci, B: s.fi})
 		s.ci = 0
+		// fi is zeroed here, not on KindNewBlock: the reported value is
+		// what the coordinator folds into f(n_j), and any update arriving
+		// between this reply and the block broadcast (possible on the
+		// asynchronous transport, never in the synchronous sim) must
+		// carry over into the next block rather than be dropped.
+		s.fi = 0
 	case dist.KindNewBlock:
 		s.r = m.A
 		s.batch = ceilPow2Half(s.r)
-		s.fi = 0
 		s.inner.Reset(s.r, out)
 	}
 }
