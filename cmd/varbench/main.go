@@ -3,23 +3,55 @@
 //
 // Usage:
 //
-//	varbench [-exp E01,E06] [-quick] [-seed 42] [-csv]
+//	varbench [-exp E01,E06] [-quick] [-seed 42] [-csv] [-p N] [-json]
 //
 // With no -exp flag every experiment runs in index order. -quick shrinks
 // stream lengths and trial counts by roughly 10× for a fast smoke run;
 // EXPERIMENTS.md records a full (non-quick) run. -csv emits comma-separated
 // values instead of aligned tables.
+//
+// -p N runs the suite on N worker goroutines (default GOMAXPROCS); every
+// experiment is a pure function of (-seed, -quick), so the tables are
+// byte-identical to the sequential run for any N. -json suppresses the
+// tables and instead emits a machine-readable per-experiment wall-clock
+// report on stdout — the format committed as BENCH_baseline.json and
+// described in EXPERIMENTS.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/expt"
 )
+
+// benchEntry is one experiment's timing in the -json report.
+type benchEntry struct {
+	ID      string  `json:"id"`
+	Name    string  `json:"name"`
+	WallNS  int64   `json:"wall_ns"`
+	Seconds float64 `json:"seconds"`
+	Rows    int     `json:"rows"`
+}
+
+// benchReport is the -json document. TotalWallNS is the end-to-end suite
+// wall clock (not the sum of per-experiment times, which exceeds it when
+// -p > 1).
+type benchReport struct {
+	Suite       string       `json:"suite"`
+	GoVersion   string       `json:"go"`
+	Quick       bool         `json:"quick"`
+	Seed        uint64       `json:"seed"`
+	Workers     int          `json:"workers"`
+	TotalWallNS int64        `json:"total_wall_ns"`
+	TotalSec    float64      `json:"total_seconds"`
+	Experiments []benchEntry `json:"experiments"`
+}
 
 func main() {
 	var (
@@ -27,6 +59,8 @@ func main() {
 		quick    = flag.Bool("quick", false, "run reduced-scale experiments")
 		seed     = flag.Uint64("seed", 42, "root RNG seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable timing report instead of tables")
+		workers  = flag.Int("p", runtime.GOMAXPROCS(0), "worker goroutines for the experiment suite (1 = sequential)")
 		listOnly = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -38,7 +72,12 @@ func main() {
 		return
 	}
 
-	cfg := expt.Config{Quick: *quick, Seed: *seed}
+	// Normalize once so the experiment pool, the trial pool, and the
+	// -json report all see the same effective worker count.
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	cfg := expt.Config{Quick: *quick, Seed: *seed, Workers: *workers}
 	var selected []expt.Experiment
 	if *expFlag == "all" {
 		selected = expt.All()
@@ -54,15 +93,54 @@ func main() {
 		}
 	}
 
-	for _, e := range selected {
-		start := time.Now()
-		tbl := e.Run(cfg)
+	// Tables stream to stdout in index order as experiments finish; in
+	// -json mode nothing prints until the timing report at the end.
+	emit := func(r expt.Timed) {
+		if *jsonOut {
+			return
+		}
 		if *csv {
-			tbl.CSV(os.Stdout)
+			r.Table.CSV(os.Stdout)
 			fmt.Println()
 		} else {
-			tbl.Render(os.Stdout)
+			r.Table.Render(os.Stdout)
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", r.Experiment.ID, r.Elapsed.Round(time.Millisecond))
 	}
+
+	start := time.Now()
+	results := expt.RunExperiments(selected, cfg, *workers, emit)
+	total := time.Since(start)
+
+	if *jsonOut {
+		report := benchReport{
+			Suite:       "varbench",
+			GoVersion:   runtime.Version(),
+			Quick:       *quick,
+			Seed:        *seed,
+			Workers:     *workers,
+			TotalWallNS: total.Nanoseconds(),
+			TotalSec:    total.Seconds(),
+			Experiments: make([]benchEntry, len(results)),
+		}
+		for i, r := range results {
+			report.Experiments[i] = benchEntry{
+				ID:      r.Experiment.ID,
+				Name:    r.Experiment.Name,
+				WallNS:  r.Elapsed.Nanoseconds(),
+				Seconds: r.Elapsed.Seconds(),
+				Rows:    len(r.Table.Rows),
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "varbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "[suite: %d experiments in %v with %d workers]\n",
+		len(results), total.Round(time.Millisecond), *workers)
 }

@@ -1,0 +1,68 @@
+package dist
+
+import "testing"
+
+func TestMsgRingFIFOAndGrowth(t *testing.T) {
+	var r msgRing
+	// Interleave pushes and pops so head wraps around the backing array
+	// several times while the ring grows through multiple capacities.
+	next, expect := int64(0), int64(0)
+	push := func(k int) {
+		for i := 0; i < k; i++ {
+			r.push(envelope{to: int32(next % 7), msg: Msg{A: next}})
+			next++
+		}
+	}
+	pop := func(k int) {
+		for i := 0; i < k; i++ {
+			e := r.pop()
+			if e.msg.A != expect || e.to != int32(expect%7) {
+				t.Fatalf("pop %d: got A=%d to=%d", expect, e.msg.A, e.to)
+			}
+			expect++
+		}
+	}
+	push(3)
+	pop(2)
+	push(40) // forces growth with head mid-buffer
+	pop(30)
+	push(100)
+	pop(111)
+	if r.n != 0 {
+		t.Fatalf("ring not drained: n=%d", r.n)
+	}
+}
+
+func TestMsgRingPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pop on empty ring did not panic")
+		}
+	}()
+	var r msgRing
+	r.pop()
+}
+
+func TestMsgRingSteadyStateReusesBuffer(t *testing.T) {
+	var r msgRing
+	for i := 0; i < 10; i++ {
+		r.push(envelope{msg: Msg{A: int64(i)}})
+	}
+	for r.n > 0 {
+		r.pop()
+	}
+	base := &r.buf[0]
+	// A full cycle that stays within the high-water mark must not
+	// reallocate the backing array.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 10; i++ {
+			r.push(envelope{msg: Msg{A: int64(i)}})
+		}
+		for r.n > 0 {
+			r.pop()
+		}
+	}
+	if &r.buf[0] != base {
+		t.Fatal("steady-state push/pop reallocated the ring buffer")
+	}
+}

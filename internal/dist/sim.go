@@ -15,6 +15,11 @@ type TranscriptEntry struct {
 // update to its site and then drains all triggered messages, FIFO, to
 // quiescence, so Estimate reflects every message the prefix caused —
 // exactly the synchronous model the paper's per-step guarantee assumes.
+//
+// Step is allocation-free at steady state: the delivery queue is a reusable
+// ring buffer that grows to the high-water mark of a single drain and is
+// then recycled, and the per-node outboxes are built once in NewSim. A Sim
+// is not safe for concurrent use; run one Sim per goroutine.
 type Sim struct {
 	// Recorder, when non-nil, observes every delivered message in
 	// delivery order. Entries for one Step share its timestep, so
@@ -25,7 +30,13 @@ type Sim struct {
 	sites []SiteAlgo
 	stats Stats
 	t     int64
-	queue []envelope
+	queue msgRing
+
+	// coordOut and siteOut are the per-node outboxes, allocated once so
+	// that handing them to handlers as the Outbox interface does not box
+	// a fresh value on every delivery.
+	coordOut *simOutbox
+	siteOut  []*simOutbox
 }
 
 // envelope is a queued delivery.
@@ -34,23 +45,86 @@ type envelope struct {
 	msg Msg
 }
 
+// msgRing is a growable FIFO ring buffer of envelopes. Pop never shrinks or
+// releases the backing array, so a drain that fits in the high-water mark
+// performs no allocation.
+type msgRing struct {
+	buf  []envelope
+	head int // index of the next envelope to pop
+	n    int // number of queued envelopes
+}
+
+// push appends an envelope, growing the backing array if full.
+func (r *msgRing) push(e envelope) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = e
+	r.n++
+}
+
+// pop removes and returns the oldest envelope. It panics on an empty ring.
+func (r *msgRing) pop() envelope {
+	if r.n == 0 {
+		panic("dist: pop from empty msgRing")
+	}
+	e := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return e
+}
+
+// grow doubles the capacity, unrolling the ring to the front.
+func (r *msgRing) grow() {
+	cap := 2 * len(r.buf)
+	if cap == 0 {
+		cap = 16
+	}
+	buf := make([]envelope, cap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
 // NewSim builds a simulator over a coordinator and its k site algorithms.
 func NewSim(coord CoordAlgo, sites []SiteAlgo) *Sim {
 	if coord == nil || len(sites) == 0 {
 		panic("dist: NewSim needs a coordinator and at least one site")
 	}
-	return &Sim{coord: coord, sites: sites}
+	s := &Sim{coord: coord, sites: sites}
+	s.coordOut = &simOutbox{s: s, from: CoordID}
+	s.siteOut = make([]*simOutbox, len(sites))
+	for i := range sites {
+		s.siteOut[i] = &simOutbox{s: s, from: int32(i)}
+	}
+	return s
 }
 
 // Step feeds one update to its assigned site and runs the network to
 // quiescence before returning.
 func (s *Sim) Step(u stream.Update) {
 	s.t = u.T
-	s.sites[u.Site].OnUpdate(u, simOutbox{s: s, from: int32(u.Site)})
-	for len(s.queue) > 0 {
-		e := s.queue[0]
-		s.queue = s.queue[1:]
-		s.deliver(e)
+	s.sites[u.Site].OnUpdate(u, s.siteOut[u.Site])
+	for s.queue.n > 0 {
+		s.deliver(s.queue.pop())
+	}
+}
+
+// Run drives an entire stream through the simulator, stepping each update
+// to quiescence, and returns the number of updates processed. Unlike the
+// historical pattern of stream.Collect followed by a Step loop, Run holds
+// no more than one update in memory at a time.
+func (s *Sim) Run(st stream.Stream) int64 {
+	var steps int64
+	for {
+		u, ok := st.Next()
+		if !ok {
+			return steps
+		}
+		s.Step(u)
+		steps++
 	}
 }
 
@@ -68,9 +142,9 @@ func (s *Sim) deliver(e envelope) {
 		s.Recorder(TranscriptEntry{T: s.t, To: e.to, Msg: e.msg})
 	}
 	if e.to == CoordID {
-		s.coord.OnMessage(e.msg, simOutbox{s: s, from: CoordID})
+		s.coord.OnMessage(e.msg, s.coordOut)
 	} else {
-		s.sites[e.to].OnMessage(e.msg, simOutbox{s: s, from: e.to})
+		s.sites[e.to].OnMessage(e.msg, s.siteOut[e.to])
 	}
 }
 
@@ -81,30 +155,30 @@ type simOutbox struct {
 }
 
 // Send implements Outbox.
-func (o simOutbox) Send(m Msg) {
+func (o *simOutbox) Send(m Msg) {
 	if o.from == CoordID {
 		o.Broadcast(m)
 		return
 	}
-	o.s.queue = append(o.s.queue, envelope{to: CoordID, msg: m})
+	o.s.queue.push(envelope{to: CoordID, msg: m})
 }
 
 // SendTo implements Outbox.
-func (o simOutbox) SendTo(site int, m Msg) {
+func (o *simOutbox) SendTo(site int, m Msg) {
 	if o.from != CoordID {
 		o.Send(m)
 		return
 	}
-	o.s.queue = append(o.s.queue, envelope{to: int32(site), msg: m})
+	o.s.queue.push(envelope{to: int32(site), msg: m})
 }
 
 // Broadcast implements Outbox.
-func (o simOutbox) Broadcast(m Msg) {
+func (o *simOutbox) Broadcast(m Msg) {
 	if o.from != CoordID {
 		o.Send(m)
 		return
 	}
 	for i := range o.s.sites {
-		o.s.queue = append(o.s.queue, envelope{to: int32(i), msg: m})
+		o.s.queue.push(envelope{to: int32(i), msg: m})
 	}
 }

@@ -1,0 +1,77 @@
+package dist_test
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/stream"
+	"repro/internal/track"
+)
+
+// TestSimRunMatchesStepLoop checks that Sim.Run over a generator produces
+// exactly the state a manual Collect-then-Step loop produces.
+func TestSimRunMatchesStepLoop(t *testing.T) {
+	const k, n = 4, 20_000
+	mk := func() stream.Stream {
+		return stream.NewAssign(stream.RandomWalk(n, 31), stream.NewRoundRobin(k))
+	}
+
+	coordA, sitesA := track.NewDeterministic(k, 0.1)
+	simA := dist.NewSim(coordA, sitesA)
+	steps := simA.Run(mk())
+	if steps != n {
+		t.Fatalf("Run processed %d steps, want %d", steps, n)
+	}
+
+	coordB, sitesB := track.NewDeterministic(k, 0.1)
+	simB := dist.NewSim(coordB, sitesB)
+	for _, u := range stream.Collect(mk()) {
+		simB.Step(u)
+	}
+
+	if simA.Estimate() != simB.Estimate() {
+		t.Fatalf("estimates diverge: Run=%d Step=%d", simA.Estimate(), simB.Estimate())
+	}
+	if simA.Stats() != simB.Stats() {
+		t.Fatalf("stats diverge: Run=%+v Step=%+v", simA.Stats(), simB.Stats())
+	}
+}
+
+// stepAllocs measures the average allocations of Sim.Step at steady state:
+// the simulator is warmed past its queue high-water mark and early block
+// boundaries first, then measured over a long run of further updates.
+func stepAllocs(t *testing.T, coord dist.CoordAlgo, sites []dist.SiteAlgo) float64 {
+	t.Helper()
+	const warm, runs = 20_000, 20_000
+	k := len(sites)
+	st := stream.NewAssign(stream.BiasedWalk(warm+runs+1, 0.2, 7), stream.NewRoundRobin(k))
+	sim := dist.NewSim(coord, sites)
+	for i := 0; i < warm; i++ {
+		u, _ := st.Next()
+		sim.Step(u)
+	}
+	ups := stream.Collect(stream.NewLimit(st, runs))
+	i := 0
+	return testing.AllocsPerRun(runs-1, func() {
+		sim.Step(ups[i])
+		i++
+	})
+}
+
+// TestSimStepZeroAllocDeterministic asserts the zero-alloc contract of the
+// hot path for the §3.3 deterministic tracker.
+func TestSimStepZeroAllocDeterministic(t *testing.T) {
+	coord, sites := track.NewDeterministic(8, 0.1)
+	if a := stepAllocs(t, coord, sites); a != 0 {
+		t.Fatalf("Sim.Step allocated %v objects/op at steady state, want 0", a)
+	}
+}
+
+// TestSimStepZeroAllocRandomized asserts the same for the §3.4 randomized
+// tracker, whose message pattern is sampled rather than threshold-driven.
+func TestSimStepZeroAllocRandomized(t *testing.T) {
+	coord, sites := track.NewRandomized(8, 0.1, 3)
+	if a := stepAllocs(t, coord, sites); a != 0 {
+		t.Fatalf("Sim.Step allocated %v objects/op at steady state, want 0", a)
+	}
+}

@@ -95,12 +95,16 @@ func E21FreqSampledAblation(cfg Config) *Table {
 		"workload", "variant", "msgs", "violation frac (final quarter)")
 	k, eps := 8, 0.05
 	grow := cfg.scale(40_000)
+	// Workloads are regenerated from seed for every variant rather than
+	// materialized once and replayed, so peak memory stays O(dataset), not
+	// O(updates).
 	workloads := []struct {
-		name string
-		ups  []stream.Update
+		name  string
+		total int64
+		mk    func() stream.Stream
 	}{
-		{"steady-churn", steadyChurn(grow, 400, cfg.Seed)},
-		{"grow-shrink", growShrink(grow, 400, cfg.Seed)},
+		{"steady-churn", grow, func() stream.Stream { return steadyChurn(grow, 400, cfg.Seed) }},
+		{"grow-shrink", grow + grow*9/10, func() stream.Stream { return growShrink(grow, 400, cfg.Seed) }},
 	}
 	variants := []struct {
 		name string
@@ -117,7 +121,7 @@ func E21FreqSampledAblation(cfg Config) *Table {
 	for _, w := range workloads {
 		for _, v := range variants {
 			tr, sites := v.mk()
-			frac, msgs := replayFreq(tr, sites, k, w.ups, eps)
+			frac, msgs := replayFreq(tr, sites, k, w.mk(), w.total, eps)
 			t.AddRow(w.name, v.name, d(msgs), pct(frac))
 		}
 	}
@@ -127,38 +131,59 @@ func E21FreqSampledAblation(cfg Config) *Table {
 }
 
 // steadyChurn is an insert/delete workload with stationary 30% deletions.
-func steadyChurn(n int64, universe int, seed uint64) []stream.Update {
-	return stream.Collect(stream.NewItemGen(n, universe, 1.0, 0.3, seed))
+func steadyChurn(n int64, universe int, seed uint64) stream.Stream {
+	return stream.NewItemGen(n, universe, 1.0, 0.3, seed)
 }
 
-// growShrink inserts n items then deletes 90% of them.
-func growShrink(n int64, universe int, seed uint64) []stream.Update {
-	ups := stream.Collect(stream.NewItemGen(n, universe, 1.0, 0, seed))
-	present := make([]uint64, 0, n)
-	for _, u := range ups {
-		present = append(present, u.Item)
+// growShrink inserts n items then deletes 90% of them. It produces the
+// identical update sequence the old materializing implementation did, but
+// as a generator: only the live multiset (item ids) is held, never the
+// update stream itself.
+func growShrink(n int64, universe int, seed uint64) stream.Stream {
+	return &growShrinkStream{
+		gen:  stream.NewItemGen(n, universe, 1.0, 0, seed),
+		dels: n * 9 / 10,
+		src:  rng.New(seed + 1),
 	}
-	src := rng.New(seed + 1)
-	t := int64(len(ups))
-	for i := int64(0); i < n*9/10; i++ {
-		idx := src.Intn(len(present))
-		item := present[idx]
-		present[idx] = present[len(present)-1]
-		present = present[:len(present)-1]
-		t++
-		ups = append(ups, stream.Update{T: t, Delta: -1, Item: item})
-	}
-	return ups
 }
 
-// replayFreq replays a prepared workload, scanning all live items every 101
-// steps in the final quarter.
-func replayFreq(tr *freq.Tracker, sites []dist.SiteAlgo, k int, ups []stream.Update, eps float64) (violFrac float64, msgs int64) {
-	st := stream.NewAssign(stream.NewSlice(ups), stream.NewRoundRobin(k))
+// growShrinkStream streams the grow phase straight out of an ItemGen while
+// recording inserted items, then emits uniform swap-remove deletions.
+type growShrinkStream struct {
+	gen     *stream.ItemGen
+	dels    int64 // deletions remaining
+	t       int64
+	src     *rng.Xoshiro256
+	present []uint64
+}
+
+// Next implements stream.Stream.
+func (g *growShrinkStream) Next() (stream.Update, bool) {
+	if u, ok := g.gen.Next(); ok {
+		g.present = append(g.present, u.Item)
+		g.t = u.T
+		return u, true
+	}
+	if g.dels <= 0 || len(g.present) == 0 {
+		return stream.Update{}, false
+	}
+	g.dels--
+	idx := g.src.Intn(len(g.present))
+	item := g.present[idx]
+	g.present[idx] = g.present[len(g.present)-1]
+	g.present = g.present[:len(g.present)-1]
+	g.t++
+	return stream.Update{T: g.t, Delta: -1, Item: item}, true
+}
+
+// replayFreq drives a regenerated workload of `total` updates, scanning all
+// live items every 101 steps in the final quarter.
+func replayFreq(tr *freq.Tracker, sites []dist.SiteAlgo, k int, workload stream.Stream, total int64, eps float64) (violFrac float64, msgs int64) {
+	st := stream.NewAssign(workload, stream.NewRoundRobin(k))
 	sim := dist.NewSim(tr, sites)
 	exact := make(map[uint64]int64)
 	var f1, step, checks, viols int64
-	lastQuarter := int64(len(ups)) * 3 / 4
+	lastQuarter := total * 3 / 4
 	for {
 		u, ok := st.Next()
 		if !ok {

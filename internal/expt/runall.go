@@ -1,0 +1,106 @@
+package expt
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// This file is the parallel experiment runner. Every experiment is a pure
+// function of its Config — all randomness is derived from Config.Seed
+// through explicit rng seeding — so experiments can be scheduled across a
+// worker pool in any order and still produce tables byte-identical to a
+// sequential run. The same holds one level down: multi-trial experiments
+// derive an independent seed per trial and write each trial's result into
+// its own slot (see parTrials), so intra-experiment parallelism preserves
+// output too.
+
+// Timed pairs an experiment's finished table with its wall-clock runtime.
+type Timed struct {
+	Experiment Experiment
+	Table      *Table
+	Elapsed    time.Duration
+}
+
+// RunAll runs every experiment on a pool of `workers` goroutines and
+// returns the tables in index order. workers <= 0 means GOMAXPROCS. For
+// any worker count the result is byte-identical to the sequential run.
+func RunAll(cfg Config, workers int) []*Table {
+	timed := RunExperiments(All(), cfg, workers, nil)
+	out := make([]*Table, len(timed))
+	for i, r := range timed {
+		out[i] = r.Table
+	}
+	return out
+}
+
+// RunExperiments schedules the given experiments across a worker pool and
+// returns per-experiment tables and timings, in the order given. workers
+// <= 0 means GOMAXPROCS. A non-nil emit is called for each result in
+// index order as soon as it and every earlier experiment have finished,
+// so callers can stream output without waiting for the whole suite.
+func RunExperiments(exps []Experiment, cfg Config, workers int, emit func(Timed)) []Timed {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]Timed, len(exps))
+	ready := make([]chan struct{}, len(exps))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	go parFor(len(exps), workers, func(i int) {
+		start := time.Now()
+		out[i] = Timed{Experiment: exps[i], Table: exps[i].Run(cfg), Elapsed: time.Since(start)}
+		close(ready[i])
+	})
+	// Drain in index order; the close above happens-before the receive,
+	// so reading out[i] here is race-free.
+	for i := range exps {
+		<-ready[i]
+		if emit != nil {
+			emit(out[i])
+		}
+	}
+	return out
+}
+
+// parTrials evaluates fn(0..trials-1) on cfg.Workers goroutines and
+// returns the results indexed by trial. Each fn call must depend only on
+// its trial index (experiments derive an independent seed from it), which
+// makes the result independent of scheduling — the sequential and parallel
+// runs are identical.
+func (c Config) parTrials(trials int, fn func(i int) float64) []float64 {
+	out := make([]float64, trials)
+	parFor(trials, c.Workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// parFor runs fn(0..n-1) on up to `workers` goroutines; workers <= 1 runs
+// inline. fn must write only to index-owned state.
+func parFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -1,0 +1,64 @@
+package expt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderAll renders a table list to one byte blob for comparison.
+func renderAll(tables []*Table) []byte {
+	var buf bytes.Buffer
+	for _, tbl := range tables {
+		tbl.Render(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestRunAllParallelByteIdentical is the determinism contract of the
+// parallel runner: for any worker count, inter-experiment scheduling and
+// intra-experiment trial parallelism must not change a single byte of the
+// rendered tables.
+func TestRunAllParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite three times")
+	}
+	seq := RunAll(Config{Quick: true, Seed: 42, Workers: 1}, 1)
+	if len(seq) != len(All()) {
+		t.Fatalf("sequential run produced %d tables, want %d", len(seq), len(All()))
+	}
+	want := renderAll(seq)
+	for _, workers := range []int{4, 13} {
+		got := renderAll(RunAll(Config{Quick: true, Seed: 42, Workers: workers}, workers))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("RunAll with %d workers diverges from the sequential run", workers)
+		}
+	}
+}
+
+// TestParTrialsMatchesSequential pins the helper itself: results land by
+// index regardless of worker count.
+func TestParTrialsMatchesSequential(t *testing.T) {
+	fn := func(i int) float64 { return float64(i * i % 17) }
+	want := Config{Workers: 1}.parTrials(100, fn)
+	for _, workers := range []int{2, 7, 100, 200} {
+		got := Config{Workers: workers}.parTrials(100, fn)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: trial %d = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFindRegistry covers the map-backed lookup, including a miss.
+func TestFindRegistry(t *testing.T) {
+	for _, e := range All() {
+		got, ok := Find(e.ID)
+		if !ok || got.ID != e.ID || got.Name != e.Name {
+			t.Fatalf("Find(%q) = %+v, %v", e.ID, got, ok)
+		}
+	}
+	if _, ok := Find("E99"); ok {
+		t.Fatal("Find(E99) succeeded")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 )
 
 // Table is a rendered experiment result.
@@ -102,6 +103,11 @@ func (t *Table) CSV(w io.Writer) {
 type Config struct {
 	Quick bool
 	Seed  uint64
+	// Workers bounds intra-experiment parallelism: multi-trial experiments
+	// run up to Workers independent trials concurrently (each trial on its
+	// own derived seed, results written by trial index, so output is
+	// byte-identical for every value). <= 1 means sequential.
+	Workers int
 }
 
 // scale shrinks n in quick mode.
@@ -163,14 +169,24 @@ func All() []Experiment {
 	}
 }
 
+// registry is the lazily-built ID → Experiment index behind Find, so
+// lookups don't rebuild and linear-scan the All() slice each time.
+var (
+	registryOnce sync.Once
+	registry     map[string]Experiment
+)
+
 // Find returns the experiment with the given ID, or false.
 func Find(id string) (Experiment, bool) {
-	for _, e := range All() {
-		if e.ID == id {
-			return e, true
+	registryOnce.Do(func() {
+		all := All()
+		registry = make(map[string]Experiment, len(all))
+		for _, e := range all {
+			registry[e.ID] = e
 		}
-	}
-	return Experiment{}, false
+	})
+	e, ok := registry[id]
+	return e, ok
 }
 
 func f1(x float64) string  { return fmt.Sprintf("%.1f", x) }

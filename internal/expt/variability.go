@@ -43,13 +43,24 @@ func E02NearlyMonotone(cfg Config) *Table {
 		"β target", "n", "β measured", "v measured", "Thm2.1 bound", "within")
 	n := cfg.scale(300_000)
 	for _, beta := range []float64{1, 2, 4, 8} {
-		ups := stream.Collect(stream.NearlyMonotone(n, beta, cfg.Seed+uint64(beta*10)))
-		deltas := make([]int64, len(ups))
-		for i, u := range ups {
-			deltas[i] = u.Delta
+		// One streaming pass computes v, f+(n), and f−(n) together, so the
+		// 300k-update workload is never materialized.
+		st := stream.NearlyMonotone(n, beta, cfg.Seed+uint64(beta*10))
+		tr := core.NewTracker(0)
+		var dec core.Decomposition
+		for {
+			u, ok := st.Next()
+			if !ok {
+				break
+			}
+			tr.Update(u.Delta)
+			if u.Delta > 0 {
+				dec.Plus += u.Delta
+			} else {
+				dec.Minus -= u.Delta
+			}
 		}
-		v := core.Variability(0, deltas)
-		dec := core.Decompose(deltas)
+		v := tr.V()
 		mb := dec.Beta()
 		bd := core.NearlyMonotoneBound(mb, dec.Plus-dec.Minus)
 		t.AddRow(f1(beta), d(n), f2(mb), f2(v), f1(bd), b(v <= bd))
@@ -69,11 +80,10 @@ func E03RandomWalk(cfg Config) *Table {
 	var ns, vs []float64
 	for _, n := range []int64{10_000, 40_000, 160_000, 640_000} {
 		n = cfg.scale(n)
-		sample := make([]float64, trials)
-		for i := 0; i < trials; i++ {
+		sample := cfg.parTrials(trials, func(i int) float64 {
 			v, _, _ := measureV(stream.RandomWalk(n, cfg.Seed+uint64(i)+uint64(n)))
-			sample[i] = v
-		}
+			return v
+		})
 		s := stats.Summarize(sample)
 		ref := math.Sqrt(float64(n)) * math.Log(float64(n))
 		t.AddRow(d(n), di(trials), s.String(), f1(core.RandomWalkBoundExact(n)), f3(s.Mean/ref))
@@ -93,11 +103,10 @@ func E04BiasedWalk(cfg Config) *Table {
 	trials := cfg.trials(12)
 	n := cfg.scale(400_000)
 	for _, mu := range []float64{0.5, 0.25, 0.1, 0.05} {
-		sample := make([]float64, trials)
-		for i := 0; i < trials; i++ {
+		sample := cfg.parTrials(trials, func(i int) float64 {
 			v, _, _ := measureV(stream.BiasedWalk(n, mu, cfg.Seed+uint64(i)+uint64(mu*1000)))
-			sample[i] = v
-		}
+			return v
+		})
 		s := stats.Summarize(sample)
 		t.AddRow(g3(mu), d(n), di(trials), s.String(), f1(core.BiasedWalkBound(n, mu)),
 			f3(mu*s.Mean/math.Log(float64(n))))

@@ -36,13 +36,18 @@ func (m DyadicMapper) Bits() int { return m.bits }
 
 // Cells implements Mapper: one cell per dyadic level.
 func (m DyadicMapper) Cells(item uint64) []uint64 {
+	return m.CellsInto(make([]uint64, 0, m.bits), item)
+}
+
+// CellsInto implements Mapper.
+func (m DyadicMapper) CellsInto(buf []uint64, item uint64) []uint64 {
 	item &= (1 << uint(m.bits)) - 1
-	cells := make([]uint64, m.bits)
+	buf = buf[:0]
 	for l := 1; l <= m.bits; l++ {
 		prefix := item >> uint(m.bits-l)
-		cells[l-1] = 1<<uint(l) + prefix
+		buf = append(buf, 1<<uint(l)+prefix)
 	}
-	return cells
+	return buf
 }
 
 // Estimate implements Mapper: the leaf cell is the per-value counter.

@@ -27,6 +27,11 @@ import (
 type Mapper interface {
 	// Cells returns the counter cells item contributes to.
 	Cells(item uint64) []uint64
+	// CellsInto is the allocation-free Cells: it writes the cells into buf
+	// (reusing its capacity, content overwritten) and returns the slice.
+	// The per-update site loops hold one buffer each and reuse it, keeping
+	// the appendix-H hot path free of per-update allocations.
+	CellsInto(buf []uint64, item uint64) []uint64
 	// Estimate reads merged counter values through get and returns the
 	// frequency estimate for item.
 	Estimate(get func(cell uint64) int64, item uint64) int64
@@ -40,6 +45,11 @@ type ExactMapper struct{}
 
 // Cells implements Mapper.
 func (ExactMapper) Cells(item uint64) []uint64 { return []uint64{item} }
+
+// CellsInto implements Mapper.
+func (ExactMapper) CellsInto(buf []uint64, item uint64) []uint64 {
+	return append(buf[:0], item)
+}
 
 // Estimate implements Mapper.
 func (ExactMapper) Estimate(get func(cell uint64) int64, item uint64) int64 {
@@ -61,6 +71,11 @@ func NewCMMapper(eps float64, depth int, seed uint64) CMMapper {
 // Cells implements Mapper.
 func (m CMMapper) Cells(item uint64) []uint64 { return m.CM.CellIndex(item) }
 
+// CellsInto implements Mapper.
+func (m CMMapper) CellsInto(buf []uint64, item uint64) []uint64 {
+	return m.CM.CellIndexInto(buf, item)
+}
+
 // Estimate implements Mapper.
 func (m CMMapper) Estimate(get func(cell uint64) int64, item uint64) int64 {
 	return m.CM.EstimateFromCells(get, item)
@@ -79,6 +94,11 @@ func NewCRMapper(eps float64, universeBits int) CRMapper {
 
 // Cells implements Mapper.
 func (m CRMapper) Cells(item uint64) []uint64 { return m.CR.CellIndex(item) }
+
+// CellsInto implements Mapper.
+func (m CRMapper) CellsInto(buf []uint64, item uint64) []uint64 {
+	return m.CR.CellIndexInto(buf, item)
+}
 
 // Estimate implements Mapper.
 func (m CRMapper) Estimate(get func(cell uint64) int64, item uint64) int64 {

@@ -51,6 +51,8 @@ type sampledSite struct {
 	p          float64
 	cellThresh float64
 	cells      map[uint64]*sampledCell
+	// cellBuf is the reusable CellsInto buffer for the per-update loop.
+	cellBuf []uint64
 
 	f1Thresh float64
 	f1Drift  int64
@@ -116,7 +118,8 @@ func (s *sampledSite) OnUpdate(u stream.Update, out dist.Outbox) {
 		out.Send(dist.Msg{Kind: dist.KindDriftReport, Site: s.id, A: s.f1Drift})
 		s.f1Delta = 0
 	}
-	for _, c := range s.mapper.Cells(u.Item) {
+	s.cellBuf = s.mapper.CellsInto(s.cellBuf, u.Item)
+	for _, c := range s.cellBuf {
 		st := s.cells[c]
 		if st == nil {
 			st = &sampledCell{}

@@ -25,6 +25,9 @@ type freqSite struct {
 	mapper Mapper
 
 	cells map[uint64]*cellState
+	// cellBuf is the reusable CellsInto buffer; per-update cell lookups
+	// must not allocate.
+	cellBuf []uint64
 
 	cellThresh float64 // ε·2^r/3: per-counter flush and heavy-report threshold
 	f1Thresh   float64 // ε·2^r floored at 1: F1 drift condition (§3.3)
@@ -78,7 +81,8 @@ func (s *freqSite) OnUpdate(u stream.Update, out dist.Outbox) {
 		s.f1Delta = 0
 	}
 	// Per-counter deltas.
-	for _, c := range s.mapper.Cells(u.Item) {
+	s.cellBuf = s.mapper.CellsInto(s.cellBuf, u.Item)
+	for _, c := range s.cellBuf {
 		st := s.cells[c]
 		if st == nil {
 			st = &cellState{}

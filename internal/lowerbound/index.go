@@ -66,9 +66,7 @@ func IndexGame(fam DetFamily, x uint64, bits int) (decoded uint64, summaryBits i
 	sim := dist.NewSim(coord, sites)
 	summary := NewTranscriptSummary(coordFactory)
 	sim.Recorder = summary.Recorder()
-	for _, u := range ups {
-		sim.Step(u)
-	}
+	sim.Run(stream.NewSlice(ups))
 
 	decoded = fam.DecodeBits(func(t int64) float64 {
 		// Query the stream timestep at which the family's time t has been

@@ -1,0 +1,58 @@
+package sketch
+
+import "testing"
+
+// TestCountMinAddEstimateZeroAlloc pins the zero-allocation contract of
+// the per-update sketch operations on the appendix-H hot path.
+func TestCountMinAddEstimateZeroAlloc(t *testing.T) {
+	cm := NewCountMin(512, 3, 7)
+	item := uint64(0)
+	if a := testing.AllocsPerRun(10_000, func() {
+		cm.Add(item, 1)
+		item++
+	}); a != 0 {
+		t.Fatalf("CountMin.Add allocated %v objects/op, want 0", a)
+	}
+	item = 0
+	var sink int64
+	if a := testing.AllocsPerRun(10_000, func() {
+		sink += cm.Estimate(item)
+		item++
+	}); a != 0 {
+		t.Fatalf("CountMin.Estimate allocated %v objects/op, want 0", a)
+	}
+	_ = sink
+}
+
+// TestCellIndexIntoZeroAllocAndConsistent checks that CellIndexInto
+// allocates nothing once the buffer is warm and agrees with CellIndex.
+func TestCellIndexIntoZeroAllocAndConsistent(t *testing.T) {
+	cm := NewCountMin(512, 4, 7)
+	cr := NewCRPrecisForError(0.3, 12)
+	cmBuf := make([]uint64, 0, cm.Depth())
+	crBuf := make([]uint64, 0, 16)
+	for item := uint64(0); item < 1000; item++ {
+		cmBuf = cm.CellIndexInto(cmBuf, item)
+		crBuf = cr.CellIndexInto(crBuf, item)
+		want := cm.CellIndex(item)
+		for i := range want {
+			if cmBuf[i] != want[i] {
+				t.Fatalf("CountMin.CellIndexInto(%d) = %v, CellIndex = %v", item, cmBuf, want)
+			}
+		}
+		wantCR := cr.CellIndex(item)
+		for i := range wantCR {
+			if crBuf[i] != wantCR[i] {
+				t.Fatalf("CRPrecis.CellIndexInto(%d) = %v, CellIndex = %v", item, crBuf, wantCR)
+			}
+		}
+	}
+	item := uint64(0)
+	if a := testing.AllocsPerRun(10_000, func() {
+		cmBuf = cm.CellIndexInto(cmBuf, item)
+		crBuf = cr.CellIndexInto(crBuf, item)
+		item++
+	}); a != 0 {
+		t.Fatalf("CellIndexInto allocated %v objects/op with a warm buffer, want 0", a)
+	}
+}

@@ -79,11 +79,19 @@ func (cm *CountMin) Estimate(item uint64) int64 {
 // (row-major). The distributed tracker treats each cell as a tracked
 // counter, so it needs stable global indices.
 func (cm *CountMin) CellIndex(item uint64) []uint64 {
-	cells := make([]uint64, cm.depth)
+	return cm.CellIndexInto(make([]uint64, 0, cm.depth), item)
+}
+
+// CellIndexInto is the allocation-free CellIndex: it writes the flat
+// indices into buf (reusing its capacity, content overwritten) and returns
+// the slice. Per-update callers hold one buffer per site and reuse it, so
+// the appendix-H hot path performs no per-update allocation.
+func (cm *CountMin) CellIndexInto(buf []uint64, item uint64) []uint64 {
+	buf = buf[:0]
 	for i, h := range cm.hashes {
-		cells[i] = uint64(i)*cm.width + h.Hash(item)
+		buf = append(buf, uint64(i)*cm.width+h.Hash(item))
 	}
-	return cells
+	return buf
 }
 
 // EstimateFromCells computes the row-minimum estimate reading counter

@@ -120,11 +120,18 @@ func (cr *CRPrecis) EstimateAvg(item uint64) int64 {
 
 // CellIndex returns the flat counter index for item in each row.
 func (cr *CRPrecis) CellIndex(item uint64) []uint64 {
-	cells := make([]uint64, len(cr.primes))
+	return cr.CellIndexInto(make([]uint64, 0, len(cr.primes)), item)
+}
+
+// CellIndexInto is the allocation-free CellIndex: it writes the flat
+// indices into buf (reusing its capacity, content overwritten) and returns
+// the slice.
+func (cr *CRPrecis) CellIndexInto(buf []uint64, item uint64) []uint64 {
+	buf = buf[:0]
 	for j, p := range cr.primes {
-		cells[j] = cr.offsets[j] + item%uint64(p)
+		buf = append(buf, cr.offsets[j]+item%uint64(p))
 	}
-	return cells
+	return buf
 }
 
 // EstimateFromCells computes the row-minimum estimate reading counters

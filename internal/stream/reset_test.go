@@ -1,0 +1,99 @@
+package stream
+
+import "testing"
+
+// take drains up to n updates from s.
+func take(s Stream, n int) []Update {
+	out := make([]Update, 0, n)
+	for len(out) < n {
+		u, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+// TestResetReplaysIdentically checks that every resettable stream — each
+// generator, each class, and the combinators — replays the exact sequence
+// after Reset, including mid-stream Resets.
+func TestResetReplaysIdentically(t *testing.T) {
+	const n = 512
+	cases := []struct {
+		name string
+		mk   func() Stream
+	}{
+		{"monotone", func() Stream { return Monotone(n) }},
+		{"monotone-bulk", func() Stream { return MonotoneBulk(n, 16, 5) }},
+		{"nearly-monotone", func() Stream { return NearlyMonotone(n, 2, 7) }},
+		{"randwalk", func() Stream { return RandomWalk(n, 7) }},
+		{"biased", func() Stream { return BiasedWalk(n, 0.2, 7) }},
+		{"sawtooth", func() Stream { return Sawtooth(n, 8, 4) }},
+		{"flip", func() Stream { return Flip(n) }},
+		{"levelswitch", func() Stream { return LevelSwitch(n, 32, 16, 0.05, 7) }},
+		{"zerocross", func() Stream { return ZeroCrossing(n, 10) }},
+		{"bulkwalk", func() Stream { return BulkWalk(n, 8, 7) }},
+		{"bursty", func() Stream { return Bursty(n, 0.05, 8, 7) }},
+		{"meanrev", func() Stream { return MeanReverting(n, 50, 0.5, 7) }},
+		{"itemgen", func() Stream { return NewItemGen(n, 64, 1.0, 0.3, 7) }},
+		{"splitbulk", func() Stream { return NewSplitBulk(BulkWalk(n/8, 8, 7)) }},
+		{"limit", func() Stream { return NewLimit(RandomWalk(n, 7), n/2) }},
+		{"concat", func() Stream { return NewConcat(Monotone(n/4), RandomWalk(n/4, 7)) }},
+		{"assign-rr", func() Stream { return NewAssign(RandomWalk(n, 7), NewRoundRobin(4)) }},
+		{"assign-uniform", func() Stream { return NewAssign(RandomWalk(n, 7), NewUniformRandom(4, 9)) }},
+		{"assign-skewed", func() Stream { return NewAssign(RandomWalk(n, 7), NewSkewed(4, 1.2, 9)) }},
+		{"slice", func() Stream { return NewSlice(Collect(RandomWalk(64, 7))) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			want := Collect(c.mk())
+			st := c.mk()
+			// Partially drain, reset mid-stream, then replay fully.
+			take(st, len(want)/3)
+			r, ok := st.(Resettable)
+			if !ok {
+				t.Fatalf("%T does not implement Resettable", st)
+			}
+			r.Reset()
+			got := Collect(st)
+			if len(got) != len(want) {
+				t.Fatalf("replay length %d, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("replay diverges at %d: got %+v, want %+v", i, got[i], want[i])
+				}
+			}
+			// A second reset replays again.
+			r.Reset()
+			again := Collect(st)
+			for i := range want {
+				if again[i] != want[i] {
+					t.Fatalf("second replay diverges at %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestTryReset covers the helper's both answers.
+func TestTryReset(t *testing.T) {
+	if !TryReset(Monotone(8)) {
+		t.Fatal("TryReset on a factory generator returned false")
+	}
+	if TryReset(NewGen(8, func(t, f int64) int64 { return 1 })) {
+		t.Fatal("TryReset on a closure generator returned true")
+	}
+}
+
+// TestNewGenResetPanics pins the contract that opaque-closure generators
+// refuse to reset rather than replaying wrongly.
+func TestNewGenResetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset on a NewGen stream did not panic")
+		}
+	}()
+	NewGen(8, func(t, f int64) int64 { return 1 }).Reset()
+}
