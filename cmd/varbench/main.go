@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	varbench [-exp E01,E06] [-quick] [-seed 42] [-csv] [-p N] [-json]
+//	varbench [-exp E01,E06] [-quick] [-seed 42] [-csv] [-p N] [-json] [-compare OLD.json]
 //
 // With no -exp flag every experiment runs in index order. -quick shrinks
 // stream lengths and trial counts by roughly 10× for a fast smoke run;
@@ -16,6 +16,16 @@
 // tables and instead emits a machine-readable per-experiment wall-clock
 // report on stdout — the format committed as BENCH_baseline.json and
 // described in EXPERIMENTS.md.
+//
+// -compare OLD.json loads a previous -json snapshot and, after the run,
+// prints per-experiment wall-clock deltas and the total speedup, so a perf
+// PR documents itself:
+//
+//	varbench -json -p 1 > BENCH_pr3.json
+//	varbench -p 1 -compare BENCH_baseline.json
+//
+// The comparison goes to stderr in -json mode (stdout stays machine
+// readable) and to stdout otherwise.
 package main
 
 import (
@@ -24,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -62,6 +73,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable timing report instead of tables")
 		workers  = flag.Int("p", runtime.GOMAXPROCS(0), "worker goroutines for the experiment suite (1 = sequential)")
 		listOnly = flag.Bool("list", false, "list experiment IDs and exit")
+		compare  = flag.String("compare", "", "path to a previous -json report; print per-experiment wall-clock deltas after the run")
 	)
 	flag.Parse()
 
@@ -108,9 +120,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", r.Experiment.ID, r.Elapsed.Round(time.Millisecond))
 	}
 
+	var old *benchReport
+	if *compare != "" {
+		var err error
+		if old, err = loadReport(*compare); err != nil {
+			fmt.Fprintf(os.Stderr, "varbench: -compare: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	start := time.Now()
 	results := expt.RunExperiments(selected, cfg, *workers, emit)
 	total := time.Since(start)
+
+	if old != nil {
+		// stdout carries the tables (or the JSON report); route the
+		// comparison to stderr in -json mode to keep stdout parseable.
+		out := os.Stdout
+		if *jsonOut {
+			out = os.Stderr
+		}
+		printComparison(out, old, results, total, *quick, *seed)
+	}
 
 	if *jsonOut {
 		report := benchReport{
@@ -143,4 +174,58 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "[suite: %d experiments in %v with %d workers]\n",
 		len(results), total.Round(time.Millisecond), *workers)
+}
+
+// loadReport reads a previous -json snapshot.
+func loadReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// printComparison renders per-experiment wall-clock deltas between a
+// previous report and this run, plus the end-to-end speedup. Experiments
+// present on only one side are listed without a ratio.
+func printComparison(w *os.File, old *benchReport, results []expt.Timed, total time.Duration, quick bool, seed uint64) {
+	if old.Quick != quick || old.Seed != seed {
+		fmt.Fprintf(w, "warning: -compare baseline ran with quick=%v seed=%d, this run quick=%v seed=%d — deltas are not apples-to-apples\n",
+			old.Quick, old.Seed, quick, seed)
+	}
+	oldBy := make(map[string]benchEntry, len(old.Experiments))
+	for _, e := range old.Experiments {
+		oldBy[e.ID] = e
+	}
+	fmt.Fprintf(w, "== wall-clock vs %s ==\n", old.Suite)
+	fmt.Fprintf(w, "  %-5s %10s %10s %9s\n", "exp", "old(s)", "new(s)", "speedup")
+	for _, r := range results {
+		o, ok := oldBy[r.Experiment.ID]
+		if !ok {
+			fmt.Fprintf(w, "  %-5s %10s %10.3f %9s\n", r.Experiment.ID, "-", r.Elapsed.Seconds(), "new")
+			continue
+		}
+		fmt.Fprintf(w, "  %-5s %10.3f %10.3f %8.2f×\n",
+			r.Experiment.ID, o.Seconds, r.Elapsed.Seconds(), o.Seconds/r.Elapsed.Seconds())
+		delete(oldBy, r.Experiment.ID)
+	}
+	gone := make([]string, 0, len(oldBy))
+	for id := range oldBy {
+		gone = append(gone, id)
+	}
+	sort.Strings(gone)
+	for _, id := range gone {
+		fmt.Fprintf(w, "  %-5s %10.3f %10s %9s\n", id, oldBy[id].Seconds, "-", "gone")
+	}
+	if len(results) == len(old.Experiments) && len(oldBy) == 0 {
+		fmt.Fprintf(w, "  %-5s %10.3f %10.3f %8.2f×\n",
+			"total", old.TotalSec, total.Seconds(), old.TotalSec/total.Seconds())
+	} else {
+		fmt.Fprintf(w, "  total incomparable: experiment sets differ (this run %d, baseline %d)\n",
+			len(results), len(old.Experiments))
+	}
 }

@@ -30,3 +30,22 @@ type SiteAlgo interface {
 	OnUpdate(u stream.Update, out Outbox)
 	OnMessage(m Msg, out Outbox)
 }
+
+// BatchSiteAlgo is an optional fast path for SiteAlgo. The runtime hands a
+// batch-capable site a run of consecutive updates all destined to it, so
+// the site pays one virtual call — and one load of its thresholds and
+// buffers — per run instead of per update.
+//
+// OnUpdateBatch must consume a nonempty prefix of us (us is never empty),
+// return the number consumed, and behave exactly as if OnUpdate had been
+// called on each consumed update in order. The one extra obligation is the
+// stopping rule: the site must return immediately after the first update
+// that makes it send any message. The runtime then drains the network to
+// quiescence before feeding the remainder, so the messages a site receives
+// back (block broadcasts, state requests) interleave with its updates
+// exactly as on the per-update path — Stats, transcripts, and estimates
+// stay byte-identical.
+type BatchSiteAlgo interface {
+	SiteAlgo
+	OnUpdateBatch(us []stream.Update, out Outbox) int
+}

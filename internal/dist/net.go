@@ -197,7 +197,7 @@ func (c *Coordinator) serve(conn net.Conn) {
 			w.enqueue(Msg{Kind: kindBarrierAck, Site: int32(id), A: m.A})
 		default:
 			c.mu.Lock()
-			c.stats.add(m, CoordID)
+			c.stats.add(&m, CoordID)
 			c.algo.OnMessage(m, coordOutbox{c})
 			c.mu.Unlock()
 		}
@@ -230,7 +230,7 @@ func (c *Coordinator) writeLocked(site int, m Msg) {
 		return
 	}
 	c.conns[site].enqueue(m)
-	c.stats.add(m, int32(site))
+	c.stats.add(&m, int32(site))
 }
 
 // coordOutbox emits coordinator messages; methods run with c.mu held,
@@ -363,7 +363,7 @@ func (s *NetSite) readLoop() {
 			continue
 		}
 		s.mu.Lock()
-		s.stats.add(m, int32(s.id))
+		s.stats.add(&m, int32(s.id))
 		s.algo.OnMessage(m, siteOutbox{s})
 		s.mu.Unlock()
 	}
@@ -400,7 +400,7 @@ func (s *NetSite) writeLocked(m Msg) {
 		s.err = err
 		return
 	}
-	s.stats.add(m, CoordID)
+	s.stats.add(&m, CoordID)
 }
 
 // siteOutbox emits site messages; methods run with s.mu held. All three

@@ -9,7 +9,7 @@ func TestMsgRingFIFOAndGrowth(t *testing.T) {
 	next, expect := int64(0), int64(0)
 	push := func(k int) {
 		for i := 0; i < k; i++ {
-			r.push(envelope{to: int32(next % 7), msg: Msg{A: next}})
+			*r.slot() = envelope{to: int32(next % 7), msg: Msg{A: next}}
 			next++
 		}
 	}
@@ -46,7 +46,7 @@ func TestMsgRingPopEmptyPanics(t *testing.T) {
 func TestMsgRingSteadyStateReusesBuffer(t *testing.T) {
 	var r msgRing
 	for i := 0; i < 10; i++ {
-		r.push(envelope{msg: Msg{A: int64(i)}})
+		*r.slot() = envelope{msg: Msg{A: int64(i)}}
 	}
 	for r.n > 0 {
 		r.pop()
@@ -56,7 +56,7 @@ func TestMsgRingSteadyStateReusesBuffer(t *testing.T) {
 	// reallocate the backing array.
 	for round := 0; round < 50; round++ {
 		for i := 0; i < 10; i++ {
-			r.push(envelope{msg: Msg{A: int64(i)}})
+			*r.slot() = envelope{msg: Msg{A: int64(i)}}
 		}
 		for r.n > 0 {
 			r.pop()

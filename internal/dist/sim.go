@@ -32,6 +32,10 @@ type Sim struct {
 	t     int64
 	queue msgRing
 
+	// batchSites[i] is sites[i] if it implements BatchSiteAlgo, else nil.
+	// The type assertion is paid once in NewSim, not per StepBatch run.
+	batchSites []BatchSiteAlgo
+
 	// coordOut and siteOut are the per-node outboxes, allocated once so
 	// that handing them to handlers as the Outbox interface does not box
 	// a fresh value on every delivery.
@@ -45,22 +49,30 @@ type envelope struct {
 	msg Msg
 }
 
+// maxSiteRun bounds how many same-site updates StepBatch hands to one
+// OnUpdateBatch call; see the scan comment in StepBatch.
+const maxSiteRun = 64
+
 // msgRing is a growable FIFO ring buffer of envelopes. Pop never shrinks or
 // releases the backing array, so a drain that fits in the high-water mark
-// performs no allocation.
+// performs no allocation. The capacity is kept a power of two so the index
+// wrap is a mask, not a modulo — push/pop run once per delivered message.
 type msgRing struct {
 	buf  []envelope
 	head int // index of the next envelope to pop
 	n    int // number of queued envelopes
 }
 
-// push appends an envelope, growing the backing array if full.
-func (r *msgRing) push(e envelope) {
+// slot reserves the next tail entry and returns it for in-place filling,
+// growing the backing array if full. Writing fields into the slot saves a
+// full envelope copy per enqueued message versus a push-by-value API.
+func (r *msgRing) slot() *envelope {
 	if r.n == len(r.buf) {
 		r.grow()
 	}
-	r.buf[(r.head+r.n)%len(r.buf)] = e
+	e := &r.buf[(r.head+r.n)&(len(r.buf)-1)]
 	r.n++
+	return e
 }
 
 // pop removes and returns the oldest envelope. It panics on an empty ring.
@@ -69,12 +81,13 @@ func (r *msgRing) pop() envelope {
 		panic("dist: pop from empty msgRing")
 	}
 	e := r.buf[r.head]
-	r.head = (r.head + 1) % len(r.buf)
+	r.head = (r.head + 1) & (len(r.buf) - 1)
 	r.n--
 	return e
 }
 
-// grow doubles the capacity, unrolling the ring to the front.
+// grow doubles the capacity (always a power of two), unrolling the ring to
+// the front.
 func (r *msgRing) grow() {
 	cap := 2 * len(r.buf)
 	if cap == 0 {
@@ -82,7 +95,7 @@ func (r *msgRing) grow() {
 	}
 	buf := make([]envelope, cap)
 	for i := 0; i < r.n; i++ {
-		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
 	}
 	r.buf = buf
 	r.head = 0
@@ -96,8 +109,12 @@ func NewSim(coord CoordAlgo, sites []SiteAlgo) *Sim {
 	s := &Sim{coord: coord, sites: sites}
 	s.coordOut = &simOutbox{s: s, from: CoordID}
 	s.siteOut = make([]*simOutbox, len(sites))
+	s.batchSites = make([]BatchSiteAlgo, len(sites))
 	for i := range sites {
 		s.siteOut[i] = &simOutbox{s: s, from: int32(i)}
+		if b, ok := sites[i].(BatchSiteAlgo); ok {
+			s.batchSites[i] = b
+		}
 	}
 	return s
 }
@@ -107,8 +124,14 @@ func NewSim(coord CoordAlgo, sites []SiteAlgo) *Sim {
 func (s *Sim) Step(u stream.Update) {
 	s.t = u.T
 	s.sites[u.Site].OnUpdate(u, s.siteOut[u.Site])
+	s.drain()
+}
+
+// drain delivers queued messages to quiescence.
+func (s *Sim) drain() {
 	for s.queue.n > 0 {
-		s.deliver(s.queue.pop())
+		e := s.queue.pop()
+		s.deliver(&e)
 	}
 }
 
@@ -128,6 +151,83 @@ func (s *Sim) Run(st stream.Stream) int64 {
 	}
 }
 
+// StepBatch feeds a prefix of us to the sites and returns how many updates
+// it consumed, plus whether any messages were delivered. It processes
+// updates in order and stops — after draining the network to quiescence —
+// as soon as one update triggers a message, so a batch is a sequence of
+// Steps, never a reordering: Stats, transcripts, and estimates are
+// byte-identical to calling Step on each consumed update.
+//
+// The returned flag lets callers cache derived state across message-free
+// prefixes: when delivered is false, no coordinator or site OnMessage ran,
+// so Estimate() is unchanged from before the call.
+func (s *Sim) StepBatch(us []stream.Update) (consumed int, delivered bool) {
+	i := 0
+	for i < len(us) {
+		u := us[i]
+		if b := s.batchSites[u.Site]; b != nil {
+			// Cap the same-site run scan: when sends are frequent a run is
+			// consumed over several calls, and an uncapped scan would
+			// re-walk the tail each time (quadratic for single-site
+			// streams). Message-free runs pay one comparison per update
+			// regardless of the cap.
+			jmax := i + maxSiteRun
+			if jmax > len(us) {
+				jmax = len(us)
+			}
+			j := i + 1
+			for j < jmax && us[j].Site == u.Site {
+				j++
+			}
+			if j == i+1 {
+				// Single-update runs (round-robin assignment interleaves
+				// sites) skip the batch machinery.
+				s.sites[u.Site].OnUpdate(u, s.siteOut[u.Site])
+				i++
+			} else {
+				n := b.OnUpdateBatch(us[i:j], s.siteOut[u.Site])
+				if n <= 0 {
+					panic("dist: OnUpdateBatch consumed no updates")
+				}
+				i += n
+			}
+		} else {
+			s.sites[u.Site].OnUpdate(u, s.siteOut[u.Site])
+			i++
+		}
+		if s.queue.n > 0 {
+			s.t = us[i-1].T
+			s.drain()
+			return i, true
+		}
+	}
+	return i, false
+}
+
+// RunBatch drives an entire stream through the simulator using the batched
+// ingest path, filling the caller-owned buffer from the stream and feeding
+// it through StepBatch. A nil or empty buf gets a default-sized one. The
+// end state is byte-identical to Run; the difference is dispatch cost —
+// one stream fill and a few site calls per buffer instead of two virtual
+// calls per update.
+func (s *Sim) RunBatch(st stream.Stream, buf []stream.Update) int64 {
+	if len(buf) == 0 {
+		buf = make([]stream.Update, 256)
+	}
+	var steps int64
+	for {
+		n := stream.NextBatch(st, buf)
+		if n == 0 {
+			return steps
+		}
+		for i := 0; i < n; {
+			c, _ := s.StepBatch(buf[i:n])
+			i += c
+		}
+		steps += int64(n)
+	}
+}
+
 // Estimate returns the coordinator's current estimate f̂.
 func (s *Sim) Estimate() int64 { return s.coord.Estimate() }
 
@@ -135,9 +235,11 @@ func (s *Sim) Estimate() int64 { return s.coord.Estimate() }
 func (s *Sim) Stats() Stats { return s.stats }
 
 // deliver accounts, records, and dispatches one message. Handlers may
-// enqueue further messages; the Step loop drains them in FIFO order.
-func (s *Sim) deliver(e envelope) {
-	s.stats.add(e.msg, e.to)
+// enqueue further messages; the drain loop delivers them in FIFO order.
+// The envelope is taken by pointer (to a caller-owned copy, never into the
+// ring — a handler's send may grow the ring mid-delivery).
+func (s *Sim) deliver(e *envelope) {
+	s.stats.add(&e.msg, e.to)
 	if s.Recorder != nil {
 		s.Recorder(TranscriptEntry{T: s.t, To: e.to, Msg: e.msg})
 	}
@@ -160,7 +262,9 @@ func (o *simOutbox) Send(m Msg) {
 		o.Broadcast(m)
 		return
 	}
-	o.s.queue.push(envelope{to: CoordID, msg: m})
+	e := o.s.queue.slot()
+	e.to = CoordID
+	e.msg = m
 }
 
 // SendTo implements Outbox.
@@ -169,7 +273,9 @@ func (o *simOutbox) SendTo(site int, m Msg) {
 		o.Send(m)
 		return
 	}
-	o.s.queue.push(envelope{to: int32(site), msg: m})
+	e := o.s.queue.slot()
+	e.to = int32(site)
+	e.msg = m
 }
 
 // Broadcast implements Outbox.
@@ -179,6 +285,8 @@ func (o *simOutbox) Broadcast(m Msg) {
 		return
 	}
 	for i := range o.s.sites {
-		o.s.queue.push(envelope{to: int32(i), msg: m})
+		e := o.s.queue.slot()
+		e.to = int32(i)
+		e.msg = m
 	}
 }

@@ -20,7 +20,9 @@ type Stats struct {
 func (s Stats) Total() int64 { return s.SiteToCoord + s.CoordToSite }
 
 // add accounts one message delivered to `to` (CoordID or a site index).
-func (s *Stats) add(m Msg, to int32) {
+// The message is taken by pointer: add runs once per delivery and a by-
+// value Msg would cost a 32-byte copy per call.
+func (s *Stats) add(m *Msg, to int32) {
 	if to == CoordID {
 		s.SiteToCoord++
 	} else {

@@ -31,26 +31,12 @@ func freqRun(tr *freq.Tracker, sites []dist.SiteAlgo, k int,
 	var res freqRunResult
 	var vtrack float64
 	checkEvery := n/50 + 1
-	for {
-		u, ok := st.Next()
-		if !ok {
-			break
-		}
-		sim.Step(u)
-		exact[u.Item] += u.Delta
-		if exact[u.Item] == 0 {
-			delete(exact, u.Item)
-		}
-		f1 += u.Delta
-		res.Steps++
-		// F1-variability: v'(t) = min{1, 1/F1(t)} per appendix H.
-		if f1 == 0 {
-			vtrack++
-		} else {
-			vtrack += 1 / float64(f1)
-		}
+	// check inspects tracker state against ground truth. It reads site
+	// state (SiteLiveCells), so the batched loop below must land on the
+	// exact step boundary before calling it.
+	check := func() {
 		if res.Steps%checkEvery != 0 || f1 == 0 {
-			continue
+			return
 		}
 		for item, fv := range exact {
 			res.Checks++
@@ -66,6 +52,39 @@ func freqRun(tr *freq.Tracker, sites []dist.SiteAlgo, k int,
 			if c > res.MaxCells {
 				res.MaxCells = c
 			}
+		}
+	}
+	buf := make([]stream.Update, 256)
+	for {
+		nb := stream.NextBatch(st, buf)
+		if nb == 0 {
+			break
+		}
+		for i := 0; i < nb; {
+			// Cap each quiescent chunk at the next ground-truth check so
+			// site-state reads happen at the same steps as the per-update
+			// loop did.
+			end := i + int(checkEvery-res.Steps%checkEvery)
+			if end > nb {
+				end = nb
+			}
+			consumed, _ := sim.StepBatch(buf[i:end])
+			for _, u := range buf[i : i+consumed] {
+				exact[u.Item] += u.Delta
+				if exact[u.Item] == 0 {
+					delete(exact, u.Item)
+				}
+				f1 += u.Delta
+				res.Steps++
+				// F1-variability: v'(t) = min{1, 1/F1(t)} per appendix H.
+				if f1 == 0 {
+					vtrack++
+				} else {
+					vtrack += 1 / float64(f1)
+				}
+			}
+			i += consumed
+			check()
 		}
 	}
 	res.V = vtrack
@@ -157,14 +176,20 @@ func heavyHittersCheck(cfg Config, phi float64) (missed, spurious int, s stats.S
 	sim := dist.NewSim(tr, sites)
 	exact := make(map[uint64]int64)
 	var f1 int64
+	buf := make([]stream.Update, 256)
 	for {
-		u, ok := st.Next()
-		if !ok {
+		nb := stream.NextBatch(st, buf)
+		if nb == 0 {
 			break
 		}
-		sim.Step(u)
-		exact[u.Item] += u.Delta
-		f1 += u.Delta
+		for i := 0; i < nb; {
+			c, _ := sim.StepBatch(buf[i:nb])
+			i += c
+		}
+		for _, u := range buf[:nb] {
+			exact[u.Item] += u.Delta
+			f1 += u.Delta
+		}
 	}
 	hh := tr.HeavyHitters(phi)
 	var shares []float64

@@ -106,14 +106,9 @@ func E23Threshold(cfg Config) *Table {
 			st := stream.NewAssign(c.mk(), stream.NewRoundRobin(k))
 			var f, crossings, violations int64
 			wasAbove := false
-			for {
-				u, ok := st.Next()
-				if !ok {
-					break
-				}
-				sim.Step(u)
-				f += u.Delta
-				state := m.State()
+			state := m.State()
+			check := func(delta int64) {
+				f += delta
 				if f >= c.tau && state != track.Above {
 					violations++
 				}
@@ -124,6 +119,27 @@ func E23Threshold(cfg Config) *Table {
 				if isAbove != wasAbove {
 					crossings++
 					wasAbove = isAbove
+				}
+			}
+			// Batched drive; the monitor state is coordinator-side, so it
+			// only moves when StepBatch reports a delivery.
+			buf := make([]stream.Update, 256)
+			for {
+				nb := stream.NextBatch(st, buf)
+				if nb == 0 {
+					break
+				}
+				for i := 0; i < nb; {
+					consumed, delivered := sim.StepBatch(buf[i:nb])
+					last := i + consumed - 1
+					for j := i; j < last; j++ {
+						check(buf[j].Delta)
+					}
+					if delivered {
+						state = m.State()
+					}
+					check(buf[last].Delta)
+					i += consumed
 				}
 			}
 			t.AddRow(c.name, di(k), g3(eps), d(c.tau), d(crossings),

@@ -28,16 +28,9 @@ func E24DyadicRank(cfg Config) *Table {
 			checkEvery := n/40 + 1
 			maxRank, maxQuant := 0.0, 0.0
 			ok := true
-			for {
-				u, okNext := st.Next()
-				if !okNext {
-					break
-				}
-				sim.Step(u)
-				ref.Add(int(u.Item), u.Delta)
-				step++
+			check := func() {
 				if step%checkEvery != 0 || ref.Total() == 0 {
-					continue
+					return
 				}
 				f1 := float64(ref.Total())
 				for _, x := range []int64{1 << uint(bits-2), 1 << uint(bits-1), 3 << uint(bits-2)} {
@@ -61,6 +54,29 @@ func E24DyadicRank(cfg Config) *Table {
 					if slip > 2*eps+2/f1 {
 						ok = false
 					}
+				}
+			}
+			// Batched drive with chunks capped at probe boundaries; the
+			// probes read only coordinator state, which at a quiescent
+			// point matches the per-update path exactly.
+			buf := make([]stream.Update, 256)
+			for {
+				nb := stream.NextBatch(st, buf)
+				if nb == 0 {
+					break
+				}
+				for i := 0; i < nb; {
+					end := i + int(checkEvery-step%checkEvery)
+					if end > nb {
+						end = nb
+					}
+					consumed, _ := sim.StepBatch(buf[i:end])
+					for _, u := range buf[i : i+consumed] {
+						ref.Add(int(u.Item), u.Delta)
+					}
+					step += int64(consumed)
+					i += consumed
+					check()
 				}
 			}
 			t.AddRow(di(k), g3(0.2), di(bits), pct(delProb),

@@ -8,15 +8,20 @@ import (
 	"repro/internal/stream"
 )
 
-// measureV drains a stream through a variability tracker.
+// measureV drains a stream through a variability tracker, pulling updates
+// through the batched stream path so generation pays one virtual call per
+// buffer instead of one per update.
 func measureV(st stream.Stream) (v float64, fn int64, n int64) {
 	tr := core.NewTracker(0)
+	buf := make([]stream.Update, 512)
 	for {
-		u, ok := st.Next()
-		if !ok {
+		m := stream.NextBatch(st, buf)
+		if m == 0 {
 			break
 		}
-		tr.Update(u.Delta)
+		for _, u := range buf[:m] {
+			tr.Update(u.Delta)
+		}
 	}
 	return tr.V(), tr.F(), tr.N()
 }
@@ -48,16 +53,19 @@ func E02NearlyMonotone(cfg Config) *Table {
 		st := stream.NearlyMonotone(n, beta, cfg.Seed+uint64(beta*10))
 		tr := core.NewTracker(0)
 		var dec core.Decomposition
+		buf := make([]stream.Update, 512)
 		for {
-			u, ok := st.Next()
-			if !ok {
+			m := stream.NextBatch(st, buf)
+			if m == 0 {
 				break
 			}
-			tr.Update(u.Delta)
-			if u.Delta > 0 {
-				dec.Plus += u.Delta
-			} else {
-				dec.Minus -= u.Delta
+			for _, u := range buf[:m] {
+				tr.Update(u.Delta)
+				if u.Delta > 0 {
+					dec.Plus += u.Delta
+				} else {
+					dec.Minus -= u.Delta
+				}
 			}
 		}
 		v := tr.V()

@@ -1,0 +1,74 @@
+package freq
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/stream"
+)
+
+// TestFreqBatchEquivalence drives every frequency-tracker backend through
+// the batched ingest path at several batch sizes and requires transcripts,
+// stats, the F1 estimate, and every per-item frequency to match the
+// per-update path exactly.
+func TestFreqBatchEquivalence(t *testing.T) {
+	const k, n, universe = 4, 20_000, 400
+	builders := map[string]func() (*Tracker, []dist.SiteAlgo){
+		"exact":   func() (*Tracker, []dist.SiteAlgo) { return New(k, 0.1, ExactMapper{}) },
+		"cm":      func() (*Tracker, []dist.SiteAlgo) { return New(k, 0.1, NewCMMapper(0.1, 2, 7)) },
+		"cr":      func() (*Tracker, []dist.SiteAlgo) { return New(k, 0.2, NewCRMapper(0.2, 10)) },
+		"sampled": func() (*Tracker, []dist.SiteAlgo) { return NewSampled(k, 0.1, ExactMapper{}, 9) },
+		"nosync":  func() (*Tracker, []dist.SiteAlgo) { return NewSampledNoSync(k, 0.1, ExactMapper{}, 9) },
+	}
+	mk := func() stream.Stream {
+		return stream.NewAssign(stream.NewItemGen(n, universe, 1.1, 0.3, 17), stream.NewRoundRobin(k))
+	}
+	ups := stream.Collect(mk())
+
+	for name, build := range builders {
+		tr, sites := build()
+		ref := dist.NewSim(tr, sites)
+		var refTr []dist.TranscriptEntry
+		ref.Recorder = func(e dist.TranscriptEntry) { refTr = append(refTr, e) }
+		for _, u := range ups {
+			ref.Step(u)
+		}
+		wantFreq := make(map[uint64]int64)
+		for item := uint64(0); item < universe; item++ {
+			wantFreq[item] = tr.Frequency(item)
+		}
+		wantF1, wantStats := tr.F1(), ref.Stats()
+
+		for _, batch := range []int{1, 7, 64, len(ups)} {
+			tr, sites := build()
+			sim := dist.NewSim(tr, sites)
+			var gotTr []dist.TranscriptEntry
+			sim.Recorder = func(e dist.TranscriptEntry) { gotTr = append(gotTr, e) }
+			for i := 0; i < len(ups); {
+				end := i + batch
+				if end > len(ups) {
+					end = len(ups)
+				}
+				for i < end {
+					c, _ := sim.StepBatch(ups[i:end])
+					i += c
+				}
+			}
+			if sim.Stats() != wantStats {
+				t.Fatalf("%s batch=%d: stats %+v, want %+v", name, batch, sim.Stats(), wantStats)
+			}
+			if tr.F1() != wantF1 {
+				t.Fatalf("%s batch=%d: F1 %d, want %d", name, batch, tr.F1(), wantF1)
+			}
+			for item := uint64(0); item < universe; item++ {
+				if got := tr.Frequency(item); got != wantFreq[item] {
+					t.Fatalf("%s batch=%d: item %d frequency %d, want %d", name, batch, item, got, wantFreq[item])
+				}
+			}
+			if !reflect.DeepEqual(gotTr, refTr) {
+				t.Fatalf("%s batch=%d: transcripts diverge (%d vs %d entries)", name, batch, len(gotTr), len(refTr))
+			}
+		}
+	}
+}

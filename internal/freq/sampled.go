@@ -2,6 +2,7 @@ package freq
 
 import (
 	"math"
+	"slices"
 
 	"repro/internal/dist"
 	"repro/internal/rng"
@@ -50,13 +51,20 @@ type sampledSite struct {
 
 	p          float64
 	cellThresh float64
-	cells      map[uint64]*sampledCell
+	// cells holds per-cell state by value: one map probe per touch and no
+	// per-cell heap object to chase (or allocate on first touch).
+	cells map[uint64]sampledCell
 	// cellBuf is the reusable CellsInto buffer for the per-update loop.
 	cellBuf []uint64
 
 	f1Thresh float64
 	f1Drift  int64
 	f1Delta  int64
+
+	// heavyKeys is the reusable sort buffer keeping block-end heavy
+	// reports in deterministic cell order; only reporting cells are
+	// collected and sorted.
+	heavyKeys []uint64
 }
 
 func newSampledSite(id int, eps float64, k int, mapper Mapper, src *rng.Xoshiro256, sync bool) *sampledSite {
@@ -67,7 +75,7 @@ func newSampledSite(id int, eps float64, k int, mapper Mapper, src *rng.Xoshiro2
 		mapper: mapper,
 		src:    src,
 		sync:   sync,
-		cells:  make(map[uint64]*sampledCell),
+		cells:  make(map[uint64]sampledCell),
 	}
 }
 
@@ -97,47 +105,71 @@ func (s *sampledSite) Reset(r int64, out dist.Outbox) {
 		// The naive variant carries sampled state across blocks.
 		return
 	}
+	s.heavyKeys = s.heavyKeys[:0]
 	for c, st := range s.cells {
 		if st.net == 0 {
 			delete(s.cells, c)
 			continue
 		}
 		if float64(absI64(st.net)) >= s.cellThresh && out != nil {
-			out.Send(dist.Msg{Kind: dist.KindFreqEnd, Site: s.id, Item: c, A: st.net})
+			s.heavyKeys = append(s.heavyKeys, c)
 		}
 		st.dplus = 0
 		st.dminus = 0
+		s.cells[c] = st
+	}
+	slices.Sort(s.heavyKeys)
+	for _, c := range s.heavyKeys {
+		out.Send(dist.Msg{Kind: dist.KindFreqEnd, Site: s.id, Item: c, A: s.cells[c].net})
 	}
 }
 
-// OnUpdate implements track.InBlockSite.
-func (s *sampledSite) OnUpdate(u stream.Update, out dist.Outbox) {
+// apply processes one update and reports whether it sent any message — the
+// shared body of OnUpdate and OnUpdateBatch.
+func (s *sampledSite) apply(u stream.Update, out dist.Outbox) bool {
+	sent := false
 	s.f1Drift += u.Delta
 	s.f1Delta += u.Delta
 	if float64(absI64(s.f1Delta)) >= s.f1Thresh {
 		out.Send(dist.Msg{Kind: dist.KindDriftReport, Site: s.id, A: s.f1Drift})
 		s.f1Delta = 0
+		sent = true
 	}
 	s.cellBuf = s.mapper.CellsInto(s.cellBuf, u.Item)
 	for _, c := range s.cellBuf {
 		st := s.cells[c]
-		if st == nil {
-			st = &sampledCell{}
-			s.cells[c] = st
-		}
 		st.net += u.Delta
 		if u.Delta > 0 {
 			st.dplus++
 			if s.src.Bernoulli(s.p) {
 				out.Send(dist.Msg{Kind: dist.KindFreqReport, Site: s.id, Item: c, A: st.dplus, B: 1})
+				sent = true
 			}
 		} else {
 			st.dminus++
 			if s.src.Bernoulli(s.p) {
 				out.Send(dist.Msg{Kind: dist.KindFreqReport, Site: s.id, Item: c, A: st.dminus, B: -1})
+				sent = true
 			}
 		}
+		s.cells[c] = st
 	}
+	return sent
+}
+
+// OnUpdate implements track.InBlockSite.
+func (s *sampledSite) OnUpdate(u stream.Update, out dist.Outbox) {
+	s.apply(u, out)
+}
+
+// OnUpdateBatch implements track.InBlockBatchSite.
+func (s *sampledSite) OnUpdateBatch(us []stream.Update, out dist.Outbox) int {
+	for i, u := range us {
+		if s.apply(u, out) {
+			return i + 1
+		}
+	}
+	return len(us)
 }
 
 // LiveCells returns the number of counters at the site.
@@ -161,7 +193,7 @@ type sampledCoord struct {
 	minHat  map[siteCell]float64
 	drift   map[uint64]float64 // Σ over sites of (d̂+ − d̂−) per cell
 
-	f1Dhat map[int32]int64
+	f1Dhat []int64 // §3.3 d̂_i per site for F1, indexed by site id
 	f1Sum  int64
 }
 
@@ -172,24 +204,24 @@ func newSampledCoord(k int, eps float64, sync bool) *sampledCoord {
 		plusHat: make(map[siteCell]float64),
 		minHat:  make(map[siteCell]float64),
 		drift:   make(map[uint64]float64),
-		f1Dhat:  make(map[int32]int64),
+		f1Dhat:  make([]int64, k),
 	}
 }
 
 // Reset implements track.InBlockCoord.
 func (c *sampledCoord) Reset(r int64) {
 	c.p = sampledProb(c.eps, r, c.k)
-	c.f1Dhat = make(map[int32]int64)
+	clear(c.f1Dhat)
 	c.f1Sum = 0
 	if !c.sync {
 		return
 	}
 	// Fold nothing: zero everything; the heavy reports that follow the
 	// block broadcast re-establish the exact bases.
-	c.base = make(map[uint64]int64)
-	c.plusHat = make(map[siteCell]float64)
-	c.minHat = make(map[siteCell]float64)
-	c.drift = make(map[uint64]float64)
+	clear(c.base)
+	clear(c.plusHat)
+	clear(c.minHat)
+	clear(c.drift)
 }
 
 // OnMessage implements track.InBlockCoord.

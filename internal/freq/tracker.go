@@ -2,6 +2,7 @@ package freq
 
 import (
 	"math"
+	"slices"
 
 	"repro/internal/dist"
 	"repro/internal/stream"
@@ -33,6 +34,13 @@ type freqSite struct {
 	f1Thresh   float64 // ε·2^r floored at 1: F1 drift condition (§3.3)
 	f1Drift    int64   // d_i for F1
 	f1Delta    int64   // δ_i for F1
+
+	// heavyKeys is the reusable sort buffer for block-end sweeps: heavy
+	// reports go out in cell order, so transcripts are deterministic
+	// rather than following map iteration order. Only reporting cells are
+	// collected and sorted — the silent zero/delete sweep stays a single
+	// unordered map pass.
+	heavyKeys []uint64
 }
 
 func newFreqSite(id int, eps float64, mapper Mapper) *freqSite {
@@ -55,6 +63,7 @@ func (s *freqSite) Reset(r int64, out dist.Outbox) {
 	}
 	s.f1Drift = 0
 	s.f1Delta = 0
+	s.heavyKeys = s.heavyKeys[:0]
 	for c, st := range s.cells {
 		if st.count == 0 {
 			delete(s.cells, c) // bound site memory to live counters
@@ -62,23 +71,30 @@ func (s *freqSite) Reset(r int64, out dist.Outbox) {
 		}
 		if float64(absI64(st.count)) >= s.cellThresh {
 			if out != nil {
-				out.Send(dist.Msg{Kind: dist.KindFreqEnd, Site: s.id, Item: c, A: st.count})
+				s.heavyKeys = append(s.heavyKeys, c)
 			}
 			st.mirror = st.count
 		} else {
 			st.mirror = 0 // the coordinator zeroed all unreported counters
 		}
 	}
+	slices.Sort(s.heavyKeys)
+	for _, c := range s.heavyKeys {
+		out.Send(dist.Msg{Kind: dist.KindFreqEnd, Site: s.id, Item: c, A: s.cells[c].count})
+	}
 }
 
-// OnUpdate implements track.InBlockSite.
-func (s *freqSite) OnUpdate(u stream.Update, out dist.Outbox) {
+// apply processes one update and reports whether it sent any message — the
+// shared body of OnUpdate and OnUpdateBatch.
+func (s *freqSite) apply(u stream.Update, out dist.Outbox) bool {
+	sent := false
 	// F1 drift (deterministic §3.3 condition on the scalar F1).
 	s.f1Drift += u.Delta
 	s.f1Delta += u.Delta
 	if float64(absI64(s.f1Delta)) >= s.f1Thresh {
 		out.Send(dist.Msg{Kind: dist.KindDriftReport, Site: s.id, A: s.f1Drift})
 		s.f1Delta = 0
+		sent = true
 	}
 	// Per-counter deltas.
 	s.cellBuf = s.mapper.CellsInto(s.cellBuf, u.Item)
@@ -92,8 +108,26 @@ func (s *freqSite) OnUpdate(u stream.Update, out dist.Outbox) {
 		if d := st.count - st.mirror; float64(absI64(d)) >= s.cellThresh {
 			out.Send(dist.Msg{Kind: dist.KindFreqReport, Site: s.id, Item: c, A: d})
 			st.mirror = st.count
+			sent = true
 		}
 	}
+	return sent
+}
+
+// OnUpdate implements track.InBlockSite.
+func (s *freqSite) OnUpdate(u stream.Update, out dist.Outbox) {
+	s.apply(u, out)
+}
+
+// OnUpdateBatch implements track.InBlockBatchSite: consume updates until
+// the first one that reports, per the batch stopping rule.
+func (s *freqSite) OnUpdateBatch(us []stream.Update, out dist.Outbox) int {
+	for i, u := range us {
+		if s.apply(u, out) {
+			return i + 1
+		}
+	}
+	return len(us)
 }
 
 // LiveCells returns the number of counters currently held at the site, the
@@ -101,24 +135,26 @@ func (s *freqSite) OnUpdate(u stream.Update, out dist.Outbox) {
 func (s *freqSite) LiveCells() int { return len(s.cells) }
 
 // freqCoord is the in-block coordinator estimator: a merged counter table
-// (Σ over sites) plus the deterministic F1 drift estimator.
+// (Σ over sites) plus the deterministic F1 drift estimator. The per-site
+// F1 drifts are a dense slice — k is fixed at construction and site ids
+// index it directly.
 type freqCoord struct {
 	est map[uint64]int64 // merged Σ_i f̂_ic
 
-	f1Dhat map[int32]int64 // §3.3 d̂_i per site for F1
+	f1Dhat []int64 // §3.3 d̂_i per site for F1, indexed by site id
 	f1Sum  int64
 }
 
-func newFreqCoord() *freqCoord {
-	return &freqCoord{est: make(map[uint64]int64)}
+func newFreqCoord(k int) *freqCoord {
+	return &freqCoord{est: make(map[uint64]int64), f1Dhat: make([]int64, k)}
 }
 
 // Reset implements track.InBlockCoord: zero every counter (unreported ones
 // stay zero; heavy ones are re-established by the KindFreqEnd reports that
 // follow the block broadcast) and restart the F1 drift estimator.
 func (c *freqCoord) Reset(r int64) {
-	c.est = make(map[uint64]int64)
-	c.f1Dhat = make(map[int32]int64)
+	clear(c.est)
+	clear(c.f1Dhat)
 	c.f1Sum = 0
 }
 
@@ -216,7 +252,7 @@ func New(k int, eps float64, mapper Mapper) (*Tracker, []dist.SiteAlgo) {
 	if eps <= 0 || eps >= 1 {
 		panic("freq: New needs 0 < eps < 1")
 	}
-	inner := newFreqCoord()
+	inner := newFreqCoord(k)
 	t := &Tracker{
 		BlockCoord: track.NewBlockCoord(k, inner),
 		mapper:     mapper,

@@ -153,9 +153,18 @@ func tvDist(a, b []float64) float64 {
 	return sum / 2
 }
 
-// sampleDist draws an index from a probability vector.
+// sampleDist draws an index from a probability vector. It always consumes
+// exactly one uniform; the two-state fast path (the overlap chain of
+// appendix G, sampled once per walk step) returns the same index the
+// general scan would.
 func sampleDist(dist []float64, src *rng.Xoshiro256) int {
 	u := src.Float64()
+	if len(dist) == 2 {
+		if u < dist[0] {
+			return 0
+		}
+		return 1
+	}
 	acc := 0.0
 	for i, p := range dist {
 		acc += p

@@ -1,0 +1,125 @@
+package rng
+
+import "math"
+
+// Alias is a Walker/Vose alias-method sampler over an arbitrary finite
+// weight table: construction is O(n), every Sample is O(1) worst-case and
+// consumes exactly one uniform variate (split into a bucket index and an
+// acceptance test). It is the right sampler for hot skewed-draw loops —
+// Zipf item popularity, weighted site assignment — where the support is
+// fixed per generator and millions of draws follow one table build.
+//
+// Alias draws a different (equally distributed) sequence than CDF
+// inversion of the same uniforms, so workloads that must replay
+// historical seeds bit-identically should keep Zipf; new workloads should
+// prefer Alias.
+type Alias struct {
+	// prob[i] is the probability, within bucket i, of returning i rather
+	// than alias[i], scaled so a uniform in [0,1) can be reused: the
+	// bucket is ⌊u·n⌋ and the acceptance test compares the fractional
+	// part u·n − ⌊u·n⌋ against prob[i].
+	prob  []float64
+	alias []int32
+	src   *Xoshiro256
+}
+
+// NewAlias builds an alias sampler over the given weights using src. It
+// panics if weights is empty, any weight is negative or non-finite, or the
+// total weight is zero.
+func NewAlias(src *Xoshiro256, weights []float64) *Alias {
+	n := len(weights)
+	if n == 0 {
+		panic("rng: NewAlias needs at least one weight")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+			panic("rng: NewAlias needs finite nonnegative weights")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("rng: NewAlias needs positive total weight")
+	}
+	if math.IsInf(total, 1) {
+		// Each weight can be finite while the sum overflows; scaling by
+		// an infinite total would silently yield a uniform sampler.
+		panic("rng: NewAlias total weight overflows")
+	}
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+		src:   src,
+	}
+	// Vose's stable construction: scale weights to mean 1, split into
+	// under- and over-full buckets, and repeatedly top an under-full
+	// bucket up from an over-full one.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers are exactly full up to rounding; they always accept.
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a
+}
+
+// NewZipfAlias builds an alias sampler for the Zipf(s) distribution over
+// {0, ..., n−1}, P(i) ∝ 1/(i+1)^s — the O(1)-per-draw counterpart of
+// NewZipf for workloads that do not need historical draw stability.
+func NewZipfAlias(src *Xoshiro256, n int, s float64) *Alias {
+	if n <= 0 {
+		panic("rng: NewZipfAlias needs n > 0")
+	}
+	if s < 0 {
+		panic("rng: NewZipfAlias needs s >= 0")
+	}
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return NewAlias(src, weights)
+}
+
+// N returns the support size.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Sample draws one index in [0, n).
+func (a *Alias) Sample() int {
+	u := a.src.Float64() * float64(len(a.prob))
+	i := int(u)
+	if i >= len(a.prob) { // float edge guard
+		i = len(a.prob) - 1
+	}
+	if u-float64(i) < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}

@@ -1,0 +1,126 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// zipfSampleReference is the historical full-range binary search over the
+// CDF, kept as the oracle for the guide-table fast path: for the same
+// generator state both must return the identical index.
+func zipfSampleReference(z *Zipf) int {
+	u := z.src.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// TestZipfGuideDrawForDrawIdentical checks that the guide-table Sample
+// reproduces the reference inversion draw-for-draw: seeded workloads built
+// before the guide table replay unchanged.
+func TestZipfGuideDrawForDrawIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		s    float64
+		seed uint64
+	}{
+		{10, 1.0, 1}, {1000, 0.8, 2}, {1000, 1.5, 3}, {20000, 1.1, 4}, {3, 0, 5},
+	} {
+		// Two samplers over identical CDFs with identical generator
+		// streams: one draws via the guide, one via the reference search.
+		fast := NewZipf(New(tc.seed), tc.n, tc.s)
+		ref := NewZipf(New(tc.seed), tc.n, tc.s)
+		for i := 0; i < 50_000; i++ {
+			got, want := fast.Sample(), zipfSampleReference(ref)
+			if got != want {
+				t.Fatalf("n=%d s=%g draw %d: guide sample %d, reference %d", tc.n, tc.s, i, got, want)
+			}
+		}
+	}
+}
+
+// TestAliasMatchesWeights checks the alias sampler's empirical frequencies
+// against the normalized weight table.
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{5, 0, 1, 2.5, 0.25, 8, 1}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	a := NewAlias(New(99), weights)
+	const draws = 2_000_000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Sample()]++
+	}
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / draws
+		// ±4 standard errors of a binomial proportion.
+		tol := 4 * math.Sqrt(want*(1-want)/draws)
+		if math.Abs(got-want) > tol {
+			t.Errorf("index %d: empirical %.5f, want %.5f ± %.5f", i, got, want, tol)
+		}
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index drawn %d times", counts[1])
+	}
+}
+
+// TestZipfAliasMatchesZipf checks that the alias-method Zipf sampler's
+// empirical distribution matches the inverse-CDF sampler's exact
+// probabilities (the sequences differ; the law must not).
+func TestZipfAliasMatchesZipf(t *testing.T) {
+	const n, s = 50, 1.2
+	const draws = 1_000_000
+	a := NewZipfAlias(New(7), n, s)
+	probs := make([]float64, n)
+	total := 0.0
+	for i := range probs {
+		probs[i] = 1 / math.Pow(float64(i+1), s)
+		total += probs[i]
+	}
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[a.Sample()]++
+	}
+	for i := range probs {
+		want := probs[i] / total
+		got := float64(counts[i]) / draws
+		tol := 5*math.Sqrt(want*(1-want)/draws) + 1e-5
+		if math.Abs(got-want) > tol {
+			t.Errorf("item %d: empirical %.6f, want %.6f ± %.6f", i, got, want, tol)
+		}
+	}
+}
+
+// TestAliasOneDrawPerSample pins the single-uniform contract: alias and a
+// bare generator advance in lockstep.
+func TestAliasOneDrawPerSample(t *testing.T) {
+	a := NewAlias(New(11), []float64{1, 2, 3, 4})
+	shadow := New(11)
+	for i := 0; i < 1000; i++ {
+		a.Sample()
+		shadow.Float64()
+	}
+	if a.src.Uint64() != shadow.Uint64() {
+		t.Fatal("Sample consumed a different number of variates than one Float64 per draw")
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	a := NewZipfAlias(New(1), 20_000, 1.1)
+	sink := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += a.Sample()
+	}
+	_ = sink
+}

@@ -26,14 +26,24 @@ func (x *Xoshiro256) Geometric(p float64) int64 {
 }
 
 // Zipf samples from a Zipf (zeta) distribution over {0, 1, ..., n−1} with
-// exponent s > 0: P(i) ∝ 1/(i+1)^s. The sampler precomputes the CDF once,
-// so construction is O(n) and each Sample is O(log n).
+// exponent s > 0: P(i) ∝ 1/(i+1)^s. The sampler precomputes the CDF and a
+// guide table once, so construction is O(n) and each Sample is O(1)
+// expected (Chen-Asau cut-point method): the guide maps u to a narrow CDF
+// range, and a short search finishes inside it. The draw is still CDF
+// inversion of a single uniform — the returned index for a given generator
+// state is bit-identical to the historical binary-search sampler, so every
+// seeded workload in the repository replays unchanged.
 //
 // Zipf item popularity is the standard model for skewed item-frequency
-// workloads (experiment E12-E14, appendix H of the paper).
+// workloads (experiment E12-E14, appendix H of the paper). For sampling
+// arbitrary weight tables where draw-stability against old seeds is not
+// required, see Alias, which is O(1) worst-case.
 type Zipf struct {
 	cdf []float64
-	src *Xoshiro256
+	// guide[j] is the smallest index i with cdf[i] >= j/len(guide-1): the
+	// inversion of u lies in [guide[⌊u·m⌋], guide[⌊u·m⌋+1]].
+	guide []int32
+	src   *Xoshiro256
 }
 
 // NewZipf builds a Zipf sampler over n items with exponent s using src.
@@ -55,7 +65,19 @@ func NewZipf(src *Xoshiro256, n int, s float64) *Zipf {
 		cdf[i] /= sum
 	}
 	cdf[n-1] = 1 // guard against rounding
-	return &Zipf{cdf: cdf, src: src}
+	// One guide bucket per item bounds the expected search range at O(1).
+	m := n
+	guide := make([]int32, m+1)
+	idx := 0
+	for j := 0; j <= m; j++ {
+		target := float64(j) / float64(m)
+		for idx < n-1 && cdf[idx] < target {
+			idx++
+		}
+		guide[j] = int32(idx)
+	}
+	guide[m] = int32(n - 1)
+	return &Zipf{cdf: cdf, guide: guide, src: src}
 }
 
 // N returns the support size.
@@ -64,8 +86,25 @@ func (z *Zipf) N() int { return len(z.cdf) }
 // Sample draws one item index in [0, n).
 func (z *Zipf) Sample() int {
 	u := z.src.Float64()
-	// Binary search for the first index with cdf >= u.
-	lo, hi := 0, len(z.cdf)-1
+	m := len(z.guide) - 1
+	j := int(u * float64(m))
+	if j >= m { // u ∈ [0,1), but guard the float edge
+		j = m - 1
+	}
+	// Rounding in u·m can land one bucket off either way; restore the
+	// invariant j/m ≤ u < (j+1)/m (same j/m expression the guide was
+	// built with) so the narrowed search provably contains the answer —
+	// the draw must stay bit-identical to a full-range inversion.
+	for j > 0 && float64(j)/float64(m) > u {
+		j--
+	}
+	for j < m-1 && float64(j+1)/float64(m) <= u {
+		j++
+	}
+	// The first index with cdf >= u lies in [guide[j], guide[j+1]]:
+	// u >= j/m rules out indices below guide[j], u < (j+1)/m rules out
+	// indices above guide[j+1]. Binary-search the narrow range.
+	lo, hi := int(z.guide[j]), int(z.guide[j+1])
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if z.cdf[mid] < u {

@@ -134,3 +134,21 @@ func (s *Assign) Next() (Update, bool) {
 	u.Site = s.a.Site(u.T)
 	return u, true
 }
+
+// NextBatch implements BatchStream: the inner stream fills the buffer
+// natively, then sites are stamped in a second pass. Round-robin — the
+// harness default — is special-cased so the dominant assignment policy
+// pays arithmetic, not an interface call, per update.
+func (s *Assign) NextBatch(buf []Update) int {
+	n := NextBatch(s.inner, buf)
+	if rr, ok := s.a.(*RoundRobin); ok {
+		for i := 0; i < n; i++ {
+			buf[i].Site = rr.Site(buf[i].T)
+		}
+		return n
+	}
+	for i := 0; i < n; i++ {
+		buf[i].Site = s.a.Site(buf[i].T)
+	}
+	return n
+}

@@ -1,0 +1,105 @@
+package stream
+
+import (
+	"testing"
+)
+
+// collectBatched drains a stream via NextBatch with the given buffer size.
+func collectBatched(s Stream, bufSize int) []Update {
+	var out []Update
+	buf := make([]Update, bufSize)
+	for {
+		n := NextBatch(s, buf)
+		if n == 0 {
+			return out
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+// nextOnly hides a stream's native NextBatch so the adapter fallback path
+// is exercised too.
+type nextOnly struct{ inner Stream }
+
+func (s nextOnly) Next() (Update, bool) { return s.inner.Next() }
+
+// TestNextBatchMatchesNext checks every native NextBatch implementation
+// against the per-update Next sequence, across batch sizes that exercise
+// partial fills, exact fills, and whole-stream fills.
+func TestNextBatchMatchesNext(t *testing.T) {
+	const n = 5_000
+	cases := []struct {
+		name string
+		mk   func() Stream
+	}{
+		{"monotone", func() Stream { return Monotone(n) }},
+		{"randwalk", func() Stream { return RandomWalk(n, 11) }},
+		{"nearmono", func() Stream { return NearlyMonotone(n, 2, 12) }},
+		{"bursty", func() Stream { return Bursty(n, 0.01, 16, 13) }},
+		{"itemgen", func() Stream { return NewItemGen(n, 500, 1.2, 0.3, 14) }},
+		{"assign-rr", func() Stream { return NewAssign(RandomWalk(n, 15), NewRoundRobin(7)) }},
+		{"assign-uniform", func() Stream { return NewAssign(RandomWalk(n, 16), NewUniformRandom(5, 17)) }},
+		{"assign-skewed", func() Stream { return NewAssign(RandomWalk(n, 18), NewSkewed(5, 1.1, 19)) }},
+		{"limit", func() Stream { return NewLimit(Monotone(n), 1234) }},
+		{"concat", func() Stream { return NewConcat(Monotone(777), RandomWalk(888, 20), Flip(99)) }},
+		{"splitbulk", func() Stream { return NewSplitBulk(BulkWalk(n/10, 32, 21)) }},
+		{"slice", func() Stream { return NewSlice(Collect(RandomWalk(999, 22))) }},
+		{"adapter-fallback", func() Stream { return nextOnly{RandomWalk(n, 23)} }},
+	}
+	for _, c := range cases {
+		want := Collect(c.mk())
+		for _, bufSize := range []int{1, 7, 64, len(want) + 1} {
+			got := collectBatched(c.mk(), bufSize)
+			if len(got) != len(want) {
+				t.Fatalf("%s buf=%d: got %d updates, want %d", c.name, bufSize, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s buf=%d: update %d = %+v, want %+v", c.name, bufSize, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestNextBatchInterleaved checks that Next and NextBatch can be mixed on
+// one stream without perturbing the sequence.
+func TestNextBatchInterleaved(t *testing.T) {
+	want := Collect(RandomWalk(1000, 31))
+	st := RandomWalk(1000, 31)
+	var got []Update
+	buf := make([]Update, 17)
+	for turn := 0; ; turn++ {
+		if turn%2 == 0 {
+			u, ok := st.Next()
+			if !ok {
+				break
+			}
+			got = append(got, u)
+			continue
+		}
+		n := NextBatch(st, buf)
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("interleaved drain yielded %d updates, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("interleaved update %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestGenNextBatchZeroAlloc pins the allocation-free contract of the
+// generator batch fill.
+func TestGenNextBatchZeroAlloc(t *testing.T) {
+	g := RandomWalk(1_000_000, 7)
+	buf := make([]Update, 256)
+	if a := testing.AllocsPerRun(1000, func() { NextBatch(g, buf) }); a != 0 {
+		t.Fatalf("Gen.NextBatch allocated %v objects/op, want 0", a)
+	}
+}

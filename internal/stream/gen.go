@@ -59,6 +59,28 @@ func (g *Gen) Next() (Update, bool) {
 	return Update{T: g.t, Delta: d}, true
 }
 
+// NextBatch implements BatchStream: one virtual call fills the whole
+// buffer, with the delta closure, timestep, and value kept in registers
+// across the fill.
+func (g *Gen) NextBatch(buf []Update) int {
+	left := g.n - g.t
+	if left <= 0 {
+		return 0
+	}
+	if int64(len(buf)) > left {
+		buf = buf[:left]
+	}
+	t, f, delta := g.t, g.f, g.delta
+	for i := range buf {
+		t++
+		d := delta(t, f)
+		f += d
+		buf[i] = Update{T: t, Delta: d}
+	}
+	g.t, g.f = t, f
+	return len(buf)
+}
+
 // Monotone returns the canonical monotone stream: n updates of +1.
 // Its variability is O(log n) (theorem 2.1 of the paper with β = 1).
 func Monotone(n int64) Stream {

@@ -85,6 +85,23 @@ func (g *ItemGen) Next() (Update, bool) {
 	return Update{T: g.t, Delta: 1, Item: item}, true
 }
 
+// NextBatch implements BatchStream. The insert/delete decision consults
+// mutable multiset state per draw, so the batch is a straight loop over the
+// single-update logic — the win is one virtual call per buffer instead of
+// one per update.
+func (g *ItemGen) NextBatch(buf []Update) int {
+	n := 0
+	for n < len(buf) {
+		u, ok := g.Next()
+		if !ok {
+			break
+		}
+		buf[n] = u
+		n++
+	}
+	return n
+}
+
 // Counts returns a copy of the current item frequencies. Intended for
 // verifying tracker output in tests and experiments.
 func (g *ItemGen) Counts() map[uint64]int64 {

@@ -51,3 +51,38 @@ func (s *SplitBulk) Next() (Update, bool) {
 	s.t++
 	return Update{T: s.t, Site: s.site, Delta: s.dir, Item: s.item}, true
 }
+
+// NextBatch implements BatchStream: each pending bulk update expands into a
+// run of identical ±1 updates, emitted with one inner pull per bulk update
+// rather than one virtual call per unit update.
+func (s *SplitBulk) NextBatch(buf []Update) int {
+	n := 0
+	for n < len(buf) {
+		if s.pending == 0 {
+			u, ok := s.inner.Next()
+			if !ok {
+				break
+			}
+			if u.Delta == 0 {
+				continue
+			}
+			if u.Delta > 0 {
+				s.pending, s.dir = u.Delta, 1
+			} else {
+				s.pending, s.dir = -u.Delta, -1
+			}
+			s.site, s.item = u.Site, u.Item
+		}
+		run := s.pending
+		if int64(len(buf)-n) < run {
+			run = int64(len(buf) - n)
+		}
+		for i := int64(0); i < run; i++ {
+			s.t++
+			buf[n] = Update{T: s.t, Site: s.site, Delta: s.dir, Item: s.item}
+			n++
+		}
+		s.pending -= run
+	}
+	return n
+}

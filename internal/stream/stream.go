@@ -34,6 +34,39 @@ type Stream interface {
 	Next() (Update, bool)
 }
 
+// BatchStream is implemented by streams with a native batch fill. The
+// generators in this package all implement it: filling a caller-owned
+// buffer in a tight loop amortizes the per-update virtual dispatch that a
+// Next loop pays, which is most of the generation cost at millions of
+// updates per second.
+type BatchStream interface {
+	Stream
+	// NextBatch fills buf with up to len(buf) updates and returns how many
+	// were written. A return of 0 (for a nonempty buf) means the stream is
+	// exhausted. The sequence of updates is exactly the sequence Next
+	// would have produced; Next and NextBatch may be freely interleaved.
+	NextBatch(buf []Update) int
+}
+
+// NextBatch fills buf from s, using the native implementation when s
+// provides one and falling back to a Next loop otherwise. It returns the
+// number of updates written; 0 (for a nonempty buf) means exhaustion.
+func NextBatch(s Stream, buf []Update) int {
+	if bs, ok := s.(BatchStream); ok {
+		return bs.NextBatch(buf)
+	}
+	n := 0
+	for n < len(buf) {
+		u, ok := s.Next()
+		if !ok {
+			break
+		}
+		buf[n] = u
+		n++
+	}
+	return n
+}
+
 // Resettable is implemented by streams that can rewind to their initial
 // state. Generators are deterministic given their seed, so a Reset replays
 // the identical update sequence — experiments replay a workload against
@@ -97,6 +130,13 @@ func (s *Slice) Next() (Update, bool) {
 	u := s.updates[s.pos]
 	s.pos++
 	return u, true
+}
+
+// NextBatch implements BatchStream by copying from the backing slice.
+func (s *Slice) NextBatch(buf []Update) int {
+	n := copy(buf, s.updates[s.pos:])
+	s.pos += n
+	return n
 }
 
 // Len returns the total number of updates in the underlying slice.
@@ -171,6 +211,19 @@ func (l *Limit) Next() (Update, bool) {
 	return u, true
 }
 
+// NextBatch implements BatchStream: the budget simply caps the fill.
+func (l *Limit) NextBatch(buf []Update) int {
+	if l.left <= 0 {
+		return 0
+	}
+	if int64(len(buf)) > l.left {
+		buf = buf[:l.left]
+	}
+	n := NextBatch(l.inner, buf)
+	l.left -= int64(n)
+	return n
+}
+
 // Concat yields the updates of each stream in turn, renumbering timesteps so
 // the concatenation is a single consistent stream starting at T=1.
 type Concat struct {
@@ -214,4 +267,23 @@ func (c *Concat) Next() (Update, bool) {
 		c.idx++
 	}
 	return Update{}, false
+}
+
+// NextBatch implements BatchStream, renumbering timesteps across the
+// filled prefix. A batch may span the boundary between two inner streams.
+func (c *Concat) NextBatch(buf []Update) int {
+	n := 0
+	for n < len(buf) && c.idx < len(c.streams) {
+		m := NextBatch(c.streams[c.idx], buf[n:])
+		if m == 0 {
+			c.idx++
+			continue
+		}
+		for i := n; i < n+m; i++ {
+			c.t++
+			buf[i].T = c.t
+		}
+		n += m
+	}
+	return n
 }

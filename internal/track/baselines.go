@@ -75,20 +75,36 @@ func (s *cmySite) OnUpdate(u stream.Update, out dist.Outbox) {
 	}
 }
 
+// OnUpdateBatch implements dist.BatchSiteAlgo: consume monotone updates
+// until the (1+ε) growth condition fires.
+func (s *cmySite) OnUpdateBatch(us []stream.Update, out dist.Outbox) int {
+	ci, reported, eps := s.ci, s.reported, s.eps
+	for i, u := range us {
+		if u.Delta < 0 {
+			panic("track: CMY tracker received a deletion; it requires monotone streams")
+		}
+		ci += u.Delta
+		if reported == 0 || float64(ci) >= (1+eps)*float64(reported) {
+			s.ci, s.reported = ci, ci
+			out.Send(dist.Msg{Kind: dist.KindCountReport, Site: s.id, A: ci})
+			return i + 1
+		}
+	}
+	s.ci = ci
+	return len(us)
+}
+
 // OnMessage implements dist.SiteAlgo.
 func (s *cmySite) OnMessage(m dist.Msg, out dist.Outbox) {}
 
-// cmyCoord sums the last-reported counts.
+// cmyCoord sums the last-reported counts, kept dense by site id.
 type cmyCoord struct {
-	last map[int32]int64
+	last []int64
 	sum  int64
 }
 
 // OnMessage implements dist.CoordAlgo.
 func (c *cmyCoord) OnMessage(m dist.Msg, out dist.Outbox) {
-	if c.last == nil {
-		c.last = make(map[int32]int64)
-	}
 	c.sum += m.A - c.last[m.Site]
 	c.last[m.Site] = m.A
 }
@@ -111,7 +127,7 @@ func NewCMY(k int, eps float64) (dist.CoordAlgo, []dist.SiteAlgo) {
 	for i := 0; i < k; i++ {
 		sites[i] = &cmySite{id: int32(i), eps: eps}
 	}
-	return &cmyCoord{}, sites
+	return &cmyCoord{last: make([]int64, k)}, sites
 }
 
 // hyzSite samples reports with round-dependent probability.
@@ -133,6 +149,25 @@ func (s *hyzSite) OnUpdate(u stream.Update, out dist.Outbox) {
 	}
 }
 
+// OnUpdateBatch implements dist.BatchSiteAlgo: one Bernoulli draw per
+// update as on the per-update path, stopping at the first sampled report.
+func (s *hyzSite) OnUpdateBatch(us []stream.Update, out dist.Outbox) int {
+	di, p, src := s.di, s.p, s.src
+	for i, u := range us {
+		if u.Delta < 0 {
+			panic("track: HYZ tracker received a deletion; it requires monotone streams")
+		}
+		di += u.Delta
+		if src.Bernoulli(p) {
+			s.di = di
+			out.Send(dist.Msg{Kind: dist.KindDriftReport, Site: s.id, A: di})
+			return i + 1
+		}
+	}
+	s.di = di
+	return len(us)
+}
+
 // OnMessage implements dist.SiteAlgo.
 func (s *hyzSite) OnMessage(m dist.Msg, out dist.Outbox) {
 	if m.Kind == dist.KindNewBlock {
@@ -150,7 +185,7 @@ type hyzCoord struct {
 	eps  float64
 	p    float64
 	base int64 // estimate frozen at the last round start
-	dhat map[int32]float64
+	dhat []float64
 	sum  float64
 }
 
@@ -170,7 +205,7 @@ func (c *hyzCoord) OnMessage(m dist.Msg, out dist.Outbox) {
 func (c *hyzCoord) newRound(out dist.Outbox) {
 	c.base = c.Estimate()
 	c.p = hyzProb(c.eps, c.k, c.base)
-	c.dhat = make(map[int32]float64)
+	clear(c.dhat)
 	c.sum = 0
 	// Fixed-point encode p so the message stays integer-valued.
 	out.Broadcast(dist.Msg{Kind: dist.KindNewBlock, Site: dist.CoordID, A: int64(c.p * (1 << 32))})
@@ -208,7 +243,7 @@ func NewHYZ(k int, eps float64, seed uint64) (dist.CoordAlgo, []dist.SiteAlgo) {
 	for i := 0; i < k; i++ {
 		sites[i] = &hyzSite{id: int32(i), src: root.Fork(uint64(i)), p: 1}
 	}
-	return &hyzCoord{k: k, eps: eps, p: 1, dhat: make(map[int32]float64)}, sites
+	return &hyzCoord{k: k, eps: eps, p: 1, dhat: make([]float64, k)}, sites
 }
 
 // lrvSite forwards each update with an adaptive probability and carries an
@@ -236,6 +271,30 @@ func (s *lrvSite) OnUpdate(u stream.Update, out dist.Outbox) {
 	}
 }
 
+// OnUpdateBatch implements dist.BatchSiteAlgo, mirroring randSite.
+func (s *lrvSite) OnUpdateBatch(us []stream.Update, out dist.Outbox) int {
+	dplus, dminus, p, src := s.dplus, s.dminus, s.p, s.src
+	for i, u := range us {
+		if u.Delta > 0 {
+			dplus++
+			if src.Bernoulli(p) {
+				s.dplus, s.dminus = dplus, dminus
+				out.Send(dist.Msg{Kind: dist.KindDriftReport, Site: s.id, A: dplus, B: 1})
+				return i + 1
+			}
+		} else {
+			dminus++
+			if src.Bernoulli(p) {
+				s.dplus, s.dminus = dplus, dminus
+				out.Send(dist.Msg{Kind: dist.KindDriftReport, Site: s.id, A: dminus, B: -1})
+				return i + 1
+			}
+		}
+	}
+	s.dplus, s.dminus = dplus, dminus
+	return len(us)
+}
+
 // OnMessage implements dist.SiteAlgo.
 func (s *lrvSite) OnMessage(m dist.Msg, out dist.Outbox) {
 	if m.Kind == dist.KindNewBlock {
@@ -258,8 +317,8 @@ type lrvCoord struct {
 	p     float64
 	scale int64 // |f̂| magnitude the current p was chosen for
 	base  int64 // estimate frozen at the last retune
-	dplus map[int32]float64
-	dmin  map[int32]float64
+	dplus []float64
+	dmin  []float64
 	sum   float64
 }
 
@@ -293,8 +352,8 @@ func (c *lrvCoord) retune(out dist.Outbox, mag int64) {
 		p = 1
 	}
 	c.p = p
-	c.dplus = make(map[int32]float64)
-	c.dmin = make(map[int32]float64)
+	clear(c.dplus)
+	clear(c.dmin)
 	c.sum = 0
 	out.Broadcast(dist.Msg{Kind: dist.KindNewBlock, Site: dist.CoordID, A: int64(p * (1 << 32))})
 }
@@ -323,7 +382,7 @@ func NewLRV(k int, eps float64, seed uint64) (dist.CoordAlgo, []dist.SiteAlgo) {
 	}
 	return &lrvCoord{
 		k: k, eps: eps, p: 1, scale: 1,
-		dplus: make(map[int32]float64),
-		dmin:  make(map[int32]float64),
+		dplus: make([]float64, k),
+		dmin:  make([]float64, k),
 	}, sites
 }

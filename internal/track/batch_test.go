@@ -1,0 +1,131 @@
+package track
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/stream"
+)
+
+// runReference is the historical per-update Run loop, kept verbatim as the
+// oracle for the batched harness: identical Results here mean the batched
+// ingest path changed dispatch cost only, not a single observable value.
+func runReference(name string, st stream.Stream, coord dist.CoordAlgo, sites []dist.SiteAlgo, eps float64) Result {
+	sim := dist.NewSim(coord, sites)
+	exact := core.NewTracker(0)
+	res := Result{Name: name, K: len(sites), Eps: eps}
+	bc, hasBlocks := coord.(*BlockCoord)
+	lastBlocks := int64(0)
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		sim.Step(u)
+		exact.Update(u.Delta)
+		res.Steps++
+		f := exact.F()
+		est := sim.Estimate()
+		diff := absI64(f - est)
+		af := absI64(f)
+		rel := float64(diff)
+		if af > 0 {
+			rel = float64(diff) / float64(af)
+		}
+		if rel > res.MaxRelErr {
+			res.MaxRelErr = rel
+		}
+		if float64(diff) > eps*float64(af) {
+			res.Violations++
+		}
+		if hasBlocks && bc.Blocks() != lastBlocks {
+			lastBlocks = bc.Blocks()
+			res.BlockV = append(res.BlockV, exact.V())
+			res.BlockMsgs = append(res.BlockMsgs, sim.Stats().Total())
+		}
+	}
+	res.V = exact.V()
+	res.Stats = sim.Stats()
+	res.FinalF = exact.F()
+	res.FinalEst = sim.Estimate()
+	if hasBlocks {
+		res.Blocks = bc.Blocks()
+	}
+	return res
+}
+
+// TestRunMatchesReference drives every tracker over non-monotone and
+// monotone random streams and requires the batched Run to reproduce the
+// reference Result — steps, violations, max relative error, stats, block
+// boundaries — exactly.
+func TestRunMatchesReference(t *testing.T) {
+	const n = 40_000
+	monotoneOnly := map[string]bool{"cmy": true, "hyz": true}
+	for name, build := range Builders() {
+		for _, k := range []int{1, 5} {
+			var mk func() stream.Stream
+			if monotoneOnly[name] {
+				mk = func() stream.Stream {
+					return stream.NewAssign(stream.Monotone(n), stream.NewRoundRobin(k))
+				}
+			} else {
+				mk = func() stream.Stream {
+					return stream.NewAssign(stream.RandomWalk(n, 77), stream.NewRoundRobin(k))
+				}
+			}
+			coord, sites := build(k, 0.1, 13)
+			want := runReference(name, mk(), coord, sites, 0.1)
+			coord, sites = build(k, 0.1, 13)
+			got := Run(name, mk(), coord, sites, 0.1)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s k=%d: batched Run diverges from reference:\n got %+v\nwant %+v", name, k, got, want)
+			}
+		}
+	}
+}
+
+// TestBlockSiteBatchEquivalence exercises the partitioner's batch path
+// directly at several chunk sizes, including chunks far larger than the
+// count-report cadence, over long same-site runs (the worst case for the
+// boundary capping).
+func TestBlockSiteBatchEquivalence(t *testing.T) {
+	const k, n = 3, 30_000
+	mk := func() stream.Stream {
+		return stream.NewAssign(stream.NearlyMonotone(n, 1, 5), stream.NewSkewed(k, 2.0, 6))
+	}
+	ups := stream.Collect(mk())
+	build := func() (dist.CoordAlgo, []dist.SiteAlgo) { return NewDeterministic(k, 0.05) }
+
+	coord, sites := build()
+	ref := dist.NewSim(coord, sites)
+	var refTr []dist.TranscriptEntry
+	ref.Recorder = func(e dist.TranscriptEntry) { refTr = append(refTr, e) }
+	for _, u := range ups {
+		ref.Step(u)
+	}
+
+	for _, chunk := range []int{1, 7, 64, len(ups)} {
+		coord, sites := build()
+		sim := dist.NewSim(coord, sites)
+		var tr []dist.TranscriptEntry
+		sim.Recorder = func(e dist.TranscriptEntry) { tr = append(tr, e) }
+		for i := 0; i < len(ups); {
+			end := i + chunk
+			if end > len(ups) {
+				end = len(ups)
+			}
+			for i < end {
+				c, _ := sim.StepBatch(ups[i:end])
+				i += c
+			}
+		}
+		if sim.Estimate() != ref.Estimate() || sim.Stats() != ref.Stats() {
+			t.Fatalf("chunk=%d: end state diverges", chunk)
+		}
+		if !reflect.DeepEqual(tr, refTr) {
+			t.Fatalf("chunk=%d: transcripts diverge (%d vs %d entries)", chunk, len(tr), len(refTr))
+		}
+	}
+}

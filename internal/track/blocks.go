@@ -27,6 +27,17 @@ type InBlockSite interface {
 	OnUpdate(u stream.Update, out dist.Outbox)
 }
 
+// InBlockBatchSite is the optional batch fast path for an InBlockSite,
+// mirroring dist.BatchSiteAlgo one layer down: OnUpdateBatch must consume
+// a nonempty prefix of us exactly as repeated OnUpdate calls would, and
+// return immediately after the first update that sends a message. The
+// partitioner hoists the threshold and counter loads of the in-block
+// estimator out of the per-update dispatch this way.
+type InBlockBatchSite interface {
+	InBlockSite
+	OnUpdateBatch(us []stream.Update, out dist.Outbox) int
+}
+
 // InBlockCoord is the coordinator half of a per-block estimator. Drift
 // returns the estimate of f(n) − f(n_j) accumulated during the current
 // block.
@@ -68,15 +79,21 @@ func blockExponent(f int64, k int) int64 {
 type BlockSite struct {
 	id    int32
 	inner InBlockSite
-	r     int64
-	batch int64 // ⌈2^{r−1}⌉
-	ci    int64 // updates since the last count report or state reply
-	fi    int64 // net change in f since the last block broadcast
+	// innerBatch is inner if it implements InBlockBatchSite, else nil;
+	// the assertion is paid once at construction.
+	innerBatch InBlockBatchSite
+	r          int64
+	batch      int64 // ⌈2^{r−1}⌉
+	ci         int64 // updates since the last count report or state reply
+	fi         int64 // net change in f since the last block broadcast
 }
 
 // NewBlockSite wraps inner with the partition protocol for site id.
 func NewBlockSite(id int, inner InBlockSite) *BlockSite {
 	s := &BlockSite{id: int32(id), inner: inner, batch: ceilPow2Half(0)}
+	if b, ok := inner.(InBlockBatchSite); ok {
+		s.innerBatch = b
+	}
 	inner.Reset(0, nil)
 	return s
 }
@@ -90,6 +107,33 @@ func (s *BlockSite) OnUpdate(u stream.Update, out dist.Outbox) {
 		out.Send(dist.Msg{Kind: dist.KindCountReport, Site: s.id, A: s.ci})
 		s.ci = 0
 	}
+}
+
+// OnUpdateBatch implements dist.BatchSiteAlgo. The prefix handed to the
+// in-block estimator is capped at the next count-report boundary, so the
+// §3.1 protocol's "report every ⌈2^{r−1}⌉ local updates" condition fires
+// on exactly the update it would fire on in the per-update path; within
+// the cap the inner estimator stops itself at its first send.
+func (s *BlockSite) OnUpdateBatch(us []stream.Update, out dist.Outbox) int {
+	if s.innerBatch == nil {
+		// An inner estimator without a batch path could send mid-prefix
+		// without us noticing, so consume a single update at a time.
+		s.OnUpdate(us[0], out)
+		return 1
+	}
+	if lim := s.batch - s.ci; int64(len(us)) > lim {
+		us = us[:lim]
+	}
+	consumed := s.innerBatch.OnUpdateBatch(us, out)
+	s.ci += int64(consumed)
+	for _, u := range us[:consumed] {
+		s.fi += u.Delta
+	}
+	if s.ci >= s.batch {
+		out.Send(dist.Msg{Kind: dist.KindCountReport, Site: s.id, A: s.ci})
+		s.ci = 0
+	}
+	return consumed
 }
 
 // OnMessage implements dist.SiteAlgo.

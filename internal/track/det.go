@@ -40,15 +40,35 @@ func (s *detSite) OnUpdate(u stream.Update, out dist.Outbox) {
 	}
 }
 
-// detCoord is the coordinator half of the deterministic tracker.
+// OnUpdateBatch implements InBlockBatchSite: the threshold and both
+// counters live in registers across the quiet prefix, and the site stops
+// at its first drift report so the runtime can drain.
+func (s *detSite) OnUpdateBatch(us []stream.Update, out dist.Outbox) int {
+	di, delta, thresh := s.di, s.delta, s.threshold
+	for i, u := range us {
+		di += u.Delta
+		delta += u.Delta
+		if float64(absI64(delta)) >= thresh {
+			s.di, s.delta = di, 0
+			out.Send(dist.Msg{Kind: dist.KindDriftReport, Site: s.id, A: di})
+			return i + 1
+		}
+	}
+	s.di, s.delta = di, delta
+	return len(us)
+}
+
+// detCoord is the coordinator half of the deterministic tracker. The
+// per-site d̂_i live in a dense slice — k is fixed at construction and site
+// ids are the indices, so a message costs an array write, not a map probe.
 type detCoord struct {
-	dhat map[int32]int64 // d̂_i per site
-	sum  int64           // Σ d̂_i, maintained incrementally
+	dhat []int64 // d̂_i per site, indexed by site id
+	sum  int64   // Σ d̂_i, maintained incrementally
 }
 
 // Reset implements InBlockCoord.
 func (c *detCoord) Reset(r int64) {
-	c.dhat = make(map[int32]int64)
+	clear(c.dhat)
 	c.sum = 0
 }
 
@@ -75,7 +95,7 @@ func NewDeterministic(k int, eps float64) (dist.CoordAlgo, []dist.SiteAlgo) {
 	if eps <= 0 || eps >= 1 {
 		panic("track: NewDeterministic needs 0 < eps < 1")
 	}
-	coord := NewBlockCoord(k, &detCoord{})
+	coord := NewBlockCoord(k, &detCoord{dhat: make([]int64, k)})
 	sites := make([]dist.SiteAlgo, k)
 	for i := 0; i < k; i++ {
 		sites[i] = NewBlockSite(i, &detSite{id: int32(i), eps: eps})

@@ -63,9 +63,20 @@ func (r Result) String() string {
 		r.MaxRelErr, r.ViolationFrac(), r.Blocks)
 }
 
+// runBufSize is the update buffer length of the batched Run loop: big
+// enough to amortize the per-buffer dispatch, small enough to stay in L1.
+const runBufSize = 256
+
 // Run simulates the tracker over the stream and checks the estimate against
 // the exact value after every step. The stream's updates must already carry
 // site assignments in [0, k).
+//
+// Run drives the batched ingest path: updates flow through
+// stream.NextBatch and dist.Sim.StepBatch, which is byte-identical to a
+// per-update Step loop. The per-step error check still runs for every
+// update — across a message-free prefix the coordinator state is
+// untouched, so the estimate is read once per quiescent chunk instead of
+// once per step.
 func Run(name string, st stream.Stream, coord dist.CoordAlgo, sites []dist.SiteAlgo, eps float64) Result {
 	sim := dist.NewSim(coord, sites)
 	exact := core.NewTracker(0)
@@ -74,17 +85,15 @@ func Run(name string, st stream.Stream, coord dist.CoordAlgo, sites []dist.SiteA
 	bc, hasBlocks := coord.(*BlockCoord)
 	lastBlocks := int64(0)
 
-	for {
-		u, ok := st.Next()
-		if !ok {
-			break
-		}
-		sim.Step(u)
-		exact.Update(u.Delta)
+	buf := make([]stream.Update, runBufSize)
+	est := sim.Estimate()
+	// check performs the per-step error accounting for one update, with
+	// the same float operations in the same order as the per-update loop
+	// (runReference in batch_test.go) so Results match bit for bit.
+	check := func(delta int64) {
+		exact.Update(delta)
 		res.Steps++
-
 		f := exact.F()
-		est := sim.Estimate()
 		diff := absI64(f - est)
 		af := absI64(f)
 		rel := float64(diff)
@@ -97,11 +106,31 @@ func Run(name string, st stream.Stream, coord dist.CoordAlgo, sites []dist.SiteA
 		if float64(diff) > eps*float64(af) {
 			res.Violations++
 		}
-
-		if hasBlocks && bc.Blocks() != lastBlocks {
-			lastBlocks = bc.Blocks()
-			res.BlockV = append(res.BlockV, exact.V())
-			res.BlockMsgs = append(res.BlockMsgs, sim.Stats().Total())
+	}
+	for {
+		n := stream.NextBatch(st, buf)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; {
+			consumed, delivered := sim.StepBatch(buf[i:n])
+			last := i + consumed - 1
+			for j := i; j < last; j++ {
+				check(buf[j].Delta)
+			}
+			if delivered {
+				est = sim.Estimate()
+			}
+			check(buf[last].Delta)
+			i += consumed
+			// Blocks only complete when messages are delivered, so the
+			// boundary snapshot lands on exactly the step it did in the
+			// per-update loop.
+			if delivered && hasBlocks && bc.Blocks() != lastBlocks {
+				lastBlocks = bc.Blocks()
+				res.BlockV = append(res.BlockV, exact.V())
+				res.BlockMsgs = append(res.BlockMsgs, sim.Stats().Total())
+			}
 		}
 	}
 

@@ -75,22 +75,50 @@ func (s *randSite) OnUpdate(u stream.Update, out dist.Outbox) {
 	}
 }
 
-// randCoord is the coordinator half of the randomized tracker.
+// OnUpdateBatch implements InBlockBatchSite. The Bernoulli draw happens
+// once per update either way — the coin sequence is identical to the
+// per-update path — but the counters and p stay in registers across the
+// unsampled prefix.
+func (s *randSite) OnUpdateBatch(us []stream.Update, out dist.Outbox) int {
+	dplus, dminus, p, src := s.dplus, s.dminus, s.p, s.src
+	for i, u := range us {
+		if u.Delta > 0 {
+			dplus++
+			if src.Bernoulli(p) {
+				s.dplus, s.dminus = dplus, dminus
+				out.Send(dist.Msg{Kind: dist.KindDriftReport, Site: s.id, A: dplus, B: 1})
+				return i + 1
+			}
+		} else {
+			dminus++
+			if src.Bernoulli(p) {
+				s.dplus, s.dminus = dplus, dminus
+				out.Send(dist.Msg{Kind: dist.KindDriftReport, Site: s.id, A: dminus, B: -1})
+				return i + 1
+			}
+		}
+	}
+	s.dplus, s.dminus = dplus, dminus
+	return len(us)
+}
+
+// randCoord is the coordinator half of the randomized tracker. As in
+// detCoord, the per-site estimates are dense slices indexed by site id.
 type randCoord struct {
 	k   int
 	eps float64
 
 	p     float64
-	dplus map[int32]float64 // d̂_i^+
-	dmin  map[int32]float64 // d̂_i^−
-	sum   float64           // Σ_i (d̂_i^+ − d̂_i^−), maintained incrementally
+	dplus []float64 // d̂_i^+ indexed by site id
+	dmin  []float64 // d̂_i^− indexed by site id
+	sum   float64   // Σ_i (d̂_i^+ − d̂_i^−), maintained incrementally
 }
 
 // Reset implements InBlockCoord.
 func (c *randCoord) Reset(r int64) {
 	c.p = sampleProb(c.eps, r, c.k)
-	c.dplus = make(map[int32]float64)
-	c.dmin = make(map[int32]float64)
+	clear(c.dplus)
+	clear(c.dmin)
 	c.sum = 0
 }
 
@@ -124,7 +152,11 @@ func NewRandomized(k int, eps float64, seed uint64) (dist.CoordAlgo, []dist.Site
 		panic("track: NewRandomized needs 0 < eps < 1")
 	}
 	root := rng.New(seed)
-	coord := NewBlockCoord(k, &randCoord{k: k, eps: eps})
+	coord := NewBlockCoord(k, &randCoord{
+		k: k, eps: eps,
+		dplus: make([]float64, k),
+		dmin:  make([]float64, k),
+	})
 	sites := make([]dist.SiteAlgo, k)
 	for i := 0; i < k; i++ {
 		sites[i] = NewBlockSite(i, &randSite{
