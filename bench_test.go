@@ -56,6 +56,9 @@ func BenchmarkE21FreqSampledAblation(b *testing.B) { benchExperiment(b, "E21") }
 func BenchmarkE22QuantileHistory(b *testing.B)     { benchExperiment(b, "E22") }
 func BenchmarkE23Threshold(b *testing.B)           { benchExperiment(b, "E23") }
 func BenchmarkE24DyadicRank(b *testing.B)          { benchExperiment(b, "E24") }
+func BenchmarkE25AsyncStaleness(b *testing.B)      { benchExperiment(b, "E25") }
+func BenchmarkE26AsyncDrops(b *testing.B)          { benchExperiment(b, "E26") }
+func BenchmarkE27AsyncChurn(b *testing.B)          { benchExperiment(b, "E27") }
 
 // benchTrackerThroughput measures end-to-end simulator throughput
 // (updates/sec) for a tracker on a generated stream — the systems-facing

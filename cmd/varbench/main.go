@@ -1,9 +1,9 @@
-// Command varbench runs the reproduction experiments (E01–E24 in DESIGN.md)
+// Command varbench runs the reproduction experiments (E01–E27 in DESIGN.md)
 // and prints paper-vs-measured tables.
 //
 // Usage:
 //
-//	varbench [-exp E01,E06] [-quick] [-seed 42] [-csv] [-p N] [-json] [-compare OLD.json]
+//	varbench [-exp E01,E06] [-quick] [-seed 42] [-csv] [-p N] [-json] [-compare OLD.json] [-net latency=8,drop=0.01]
 //
 // With no -exp flag every experiment runs in index order. -quick shrinks
 // stream lengths and trial counts by roughly 10× for a fast smoke run;
@@ -26,6 +26,10 @@
 //
 // The comparison goes to stderr in -json mode (stdout stays machine
 // readable) and to stdout otherwise.
+//
+// -net KEY=VAL,... supplies an extra network model (dist.ParseNetModel
+// syntax) that the asynchronous-runtime experiments E25–E27 fold into
+// their sweeps alongside the built-in configurations.
 package main
 
 import (
@@ -38,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/expt"
 )
 
@@ -74,6 +79,7 @@ func main() {
 		workers  = flag.Int("p", runtime.GOMAXPROCS(0), "worker goroutines for the experiment suite (1 = sequential)")
 		listOnly = flag.Bool("list", false, "list experiment IDs and exit")
 		compare  = flag.String("compare", "", "path to a previous -json report; print per-experiment wall-clock deltas after the run")
+		netFlag  = flag.String("net", "", "extra network model for the async experiments E25-E27, e.g. latency=8,jitter=2,drop=0.01,retrans=3")
 	)
 	flag.Parse()
 
@@ -90,6 +96,14 @@ func main() {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 	cfg := expt.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+	if *netFlag != "" {
+		model, err := dist.ParseNetModel(*netFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "varbench: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Net = &model
+	}
 	var selected []expt.Experiment
 	if *expFlag == "all" {
 		selected = expt.All()

@@ -1,11 +1,22 @@
 // Command varmon demonstrates the library as a real distributed monitoring
-// service: a TCP coordinator and k in-process sites track a simulated
-// update stream with the deterministic variability tracker of §3.3 and
-// periodically print the coordinator's estimate against the true value.
+// service: a coordinator and k sites track a simulated update stream with
+// the deterministic variability tracker of §3.3 and periodically print the
+// coordinator's estimate against the true value.
+//
+// By default the run is live TCP on loopback. With -net the run moves to
+// the fault-injecting asynchronous simulator (dist.AsyncSim) under the
+// given network model, adding staleness and loss counters to the report:
+//
+//	varmon -net latency=8,jitter=2,drop=0.01,retrans=3
+//
+// Workloads can be recorded while running (-record FILE, a streaming tee —
+// the run and the file see the identical updates) and replayed (-replay
+// FILE), including replaying with -record to re-encode an old trace.
 //
 // Usage:
 //
 //	varmon [-k 4] [-eps 0.1] [-n 100000] [-stream randwalk|biased|monotone|sawtooth] [-seed 1]
+//	       [-record FILE] [-replay FILE] [-net MODEL]
 package main
 
 import (
@@ -18,6 +29,29 @@ import (
 	"repro/internal/track"
 )
 
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "varmon: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// tee passes an assigned stream through while writing every update to a
+// trace — recording is a side effect of the run consuming the stream, so
+// the file can never diverge from the workload the run actually saw.
+type tee struct {
+	inner stream.Stream
+	tw    *stream.TraceWriter
+}
+
+func (t *tee) Next() (stream.Update, bool) {
+	u, ok := t.inner.Next()
+	if ok {
+		if err := t.tw.Write(u); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+	}
+	return u, ok
+}
+
 func main() {
 	var (
 		k       = flag.Int("k", 4, "number of sites")
@@ -26,8 +60,9 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "stream seed")
 		sclass  = flag.String("stream", "randwalk", "stream class: randwalk|biased|monotone|sawtooth")
 		refresh = flag.Int64("progress", 10, "progress lines to print")
-		record  = flag.String("record", "", "write the generated workload to this trace file")
+		record  = flag.String("record", "", "tee the workload into this trace file while running")
 		replay  = flag.String("replay", "", "drive the run from a recorded trace file instead of a generator")
+		netFlag = flag.String("net", "", "run on the async fault simulator under this model (e.g. latency=8,jitter=2,drop=0.01,retrans=3) instead of live TCP")
 	)
 	flag.Parse()
 
@@ -45,117 +80,196 @@ func main() {
 		fmt.Fprintf(os.Stderr, "varmon: unknown stream class %q\n", *sclass)
 		os.Exit(2)
 	}
+
+	// The driven stream: replayed traces already carry site assignments
+	// (validated against -k below); generated workloads get round-robin.
+	var st stream.Stream
+	recordK := *k
 	if *replay != "" {
 		f, err := os.Open(*replay)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "varmon: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 		defer f.Close()
 		tr, err := stream.NewTraceReader(f)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "varmon: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
-		// Replayed traces already carry site assignments; feed directly.
-		gen = tr
+		if tr.K() > *k {
+			fatalf("%s was recorded for %d sites; rerun with -k >= %d", *replay, tr.K(), tr.K())
+		}
+		if tr.K() == 0 {
+			fmt.Fprintf(os.Stderr, "varmon: %s predates the site-count header; site ids are validated per update\n", *replay)
+		} else {
+			// A re-recorded copy stays valid for the k it was assigned
+			// over, not the (possibly larger) -k of this run.
+			recordK = tr.K()
+		}
+		st = tr
+	} else {
+		st = stream.NewAssign(gen, stream.NewRoundRobin(*k))
 	}
+
+	// Recording is a streaming tee around the (already assigned) run
+	// stream — never a re-assignment, never a Collect.
+	var recFile *os.File
+	var tw *stream.TraceWriter
 	if *record != "" {
-		// Materialize, write, then run from the recorded copy so the
-		// file and the run see the identical workload.
-		assigned := stream.NewAssign(gen, stream.NewRoundRobin(*k))
-		ups := stream.Collect(assigned)
 		f, err := os.Create(*record)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "varmon: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
-		if _, err := stream.WriteTrace(f, stream.NewSlice(ups)); err != nil {
-			fmt.Fprintf(os.Stderr, "varmon: writing trace: %v\n", err)
-			os.Exit(1)
+		recFile = f
+		tw, err = stream.NewTraceWriter(f, recordK)
+		if err != nil {
+			fatalf("%v", err)
 		}
-		f.Close()
-		gen = stream.NewSlice(ups)
-		fmt.Printf("recorded %d updates to %s\n", len(ups), *record)
+		st = &tee{inner: st, tw: tw}
 	}
 
-	coordAlgo, siteAlgos := track.NewDeterministic(*k, *eps)
-	coord, err := dist.ListenCoordinator("127.0.0.1:0", *k, coordAlgo)
+	every := *n / *refresh
+	if every < 1 {
+		every = 1
+	}
+
+	if *netFlag != "" {
+		model, err := dist.ParseNetModel(*netFlag)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runAsync(st, *k, *eps, every, model, *seed)
+	} else {
+		runTCP(st, *k, *eps, every)
+	}
+
+	if tw != nil {
+		if err := tw.Flush(); err != nil {
+			fatalf("flushing trace: %v", err)
+		}
+		if err := recFile.Close(); err != nil {
+			fatalf("closing trace: %v", err)
+		}
+		fmt.Printf("recorded %d updates to %s\n", tw.Count(), *record)
+	}
+}
+
+// checkSite guards per-site indexing against out-of-range ids (a format-1
+// trace replayed with too small a -k, or a corrupt record).
+func checkSite(u stream.Update, k int) {
+	if u.Site < 0 || u.Site >= k {
+		fatalf("update %d is assigned to site %d, outside [0, %d); was the trace recorded with a larger -k?",
+			u.T, u.Site, k)
+	}
+}
+
+func runTCP(st stream.Stream, k int, eps float64, every int64) {
+	coordAlgo, siteAlgos := track.NewDeterministic(k, eps)
+	coord, err := dist.ListenCoordinator("127.0.0.1:0", k, coordAlgo)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "varmon: listen: %v\n", err)
-		os.Exit(1)
+		fatalf("listen: %v", err)
 	}
 	defer coord.Close()
-	fmt.Printf("coordinator listening on %s; %d sites connecting\n", coord.Addr(), *k)
+	fmt.Printf("coordinator listening on %s; %d sites connecting\n", coord.Addr(), k)
 
-	sites := make([]*dist.NetSite, *k)
-	for i := 0; i < *k; i++ {
+	sites := make([]*dist.NetSite, k)
+	for i := 0; i < k; i++ {
 		s, err := dist.DialNetSite(coord.Addr(), i, siteAlgos[i])
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "varmon: dial site %d: %v\n", i, err)
-			os.Exit(1)
+			fatalf("dial site %d: %v", i, err)
 		}
 		defer s.Close()
 		sites[i] = s
 	}
 
-	var st stream.Stream = stream.NewAssign(gen, stream.NewRoundRobin(*k))
-	if *replay != "" || *record != "" {
-		st = gen // already assigned
+	barrierAll := func(context string) {
+		for round := 0; round < 2; round++ {
+			for _, s := range sites {
+				if err := s.Barrier(); err != nil {
+					fatalf("%s: %v", context, err)
+				}
+			}
+		}
 	}
-	var f int64
-	every := *n / *refresh
-	if every < 1 {
-		every = 1
-	}
+
+	var f, steps int64
 	for {
 		u, ok := st.Next()
 		if !ok {
 			break
 		}
+		checkSite(u, k)
 		f += u.Delta
+		steps++
 		sites[u.Site].Update(u)
 		if u.T%every == 0 {
 			// Flush so the printed estimate reflects all sent messages.
-			for round := 0; round < 2; round++ {
-				for _, s := range sites {
-					if err := s.Barrier(); err != nil {
-						fmt.Fprintf(os.Stderr, "varmon: barrier: %v\n", err)
-						os.Exit(1)
-					}
-				}
-			}
+			barrierAll("barrier")
 			est := coord.Estimate()
-			rel := 0.0
-			if f != 0 {
-				rel = float64(abs64(f-est)) / float64(abs64(f))
-			}
 			fmt.Printf("t=%-10d f=%-10d f̂=%-10d rel.err=%-8.5f msgs=%d\n",
-				u.T, f, est, rel, coord.Stats().Total())
+				u.T, f, est, relErr(f, est), coord.Stats().Total())
 		}
 	}
 
-	for round := 0; round < 2; round++ {
-		for _, s := range sites {
-			if err := s.Barrier(); err != nil {
-				fmt.Fprintf(os.Stderr, "varmon: final barrier: %v\n", err)
-				os.Exit(1)
-			}
-		}
-	}
+	barrierAll("final barrier")
 	stats := coord.Stats()
 	fmt.Printf("\nfinal: f=%d f̂=%d | messages=%d (%.4f/update) wire bytes=%d\n",
 		f, coord.Estimate(), stats.Total(),
-		float64(stats.Total())/float64(*n), stats.Bytes)
+		perStep(stats.Total(), steps), stats.Bytes)
 	if err := coord.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "varmon: transport error: %v\n", err)
-		os.Exit(1)
+		fatalf("transport error: %v", err)
 	}
 }
 
-func abs64(x int64) int64 {
-	if x < 0 {
-		return -x
+func runAsync(st stream.Stream, k int, eps float64, every int64, model dist.NetModel, seed uint64) {
+	coordAlgo, siteAlgos := track.NewDeterministic(k, eps)
+	sim := dist.NewAsyncSim(coordAlgo, siteAlgos, model, seed)
+	fmt.Printf("async simulator: %d sites, net %s\n", k, model)
+
+	var f, steps int64
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		checkSite(u, k)
+		f += u.Delta
+		steps++
+		sim.Step(u)
+		if u.T%every == 0 {
+			est := sim.Estimate()
+			s := sim.Stats()
+			fmt.Printf("t=%-10d f=%-10d f̂=%-10d rel.err=%-8.5f msgs=%-8d stale(avg/max)=%.1f/%d dropped=%d\n",
+				u.T, f, est, relErr(f, est), s.Total(),
+				s.AvgStaleness(), s.StalenessMax, s.Dropped)
+		}
 	}
-	return x
+	sim.Flush()
+	stats := sim.Stats()
+	fmt.Printf("\nfinal: f=%d f̂=%d | messages=%d (%.4f/update) wire bytes=%d\n",
+		f, sim.Estimate(), stats.Total(), perStep(stats.Total(), steps), stats.Bytes)
+	fmt.Printf("net: virtual time=%d delivered=%d dropped=%d retransmitted=%d staleness avg=%.1f max=%d\n",
+		sim.Now(), stats.Delivered(), stats.Dropped, stats.Retransmitted,
+		stats.AvgStaleness(), stats.StalenessMax)
+}
+
+func perStep(total, steps int64) float64 {
+	if steps == 0 {
+		return 0
+	}
+	return float64(total) / float64(steps)
+}
+
+func relErr(f, est int64) float64 {
+	diff := f - est
+	if diff < 0 {
+		diff = -diff
+	}
+	af := f
+	if af < 0 {
+		af = -af
+	}
+	if af == 0 {
+		return float64(diff)
+	}
+	return float64(diff) / float64(af)
 }

@@ -22,7 +22,7 @@
 //	internal/lowerbound §4 hard families, tracing summaries, Index reduction
 //	internal/bound      the paper's bounds as executable formulas
 //	internal/stats      summary statistics and scaling-exponent fits
-//	internal/expt       experiment harness (E01–E24; see DESIGN.md)
+//	internal/expt       experiment harness (E01–E27; see DESIGN.md)
 //	cmd/varbench        run the experiments
 //	cmd/varmon          live TCP monitoring demo
 //	cmd/vartrace        historical-query (tracing) demo

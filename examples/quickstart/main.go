@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"repro/internal/bound"
@@ -18,13 +19,14 @@ func main() {
 	const (
 		k   = 8   // sites
 		eps = 0.1 // relative error
-		n   = 1e5 // updates
 	)
+	n := flag.Int64("n", 1e5, "updates")
+	flag.Parse()
 
 	// 1. An update stream: a drifted ±1 walk spread round-robin over k
 	//    sites. Any stream.Stream works; Delta must be ±1 (use
 	//    stream.NewSplitBulk for bulk updates).
-	st := stream.NewAssign(stream.BiasedWalk(n, 0.3, 7), stream.NewRoundRobin(k))
+	st := stream.NewAssign(stream.BiasedWalk(*n, 0.3, 7), stream.NewRoundRobin(k))
 
 	// 2. A tracker: coordinator algorithm + one algorithm per site.
 	coord, sites := track.NewDeterministic(k, eps)

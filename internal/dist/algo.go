@@ -31,6 +31,23 @@ type SiteAlgo interface {
 	OnMessage(m Msg, out Outbox)
 }
 
+// SiteRejoiner is an optional SiteAlgo extension for fault-aware runtimes:
+// OnRejoin fires when the site's link to the coordinator is restored after
+// a partition, letting the site re-send state the outage may have lost
+// (reports are fire-and-forget; nothing else retries them). Implementations
+// must only emit messages that are safe to deliver on top of whatever the
+// coordinator already holds — absolute values, not deltas.
+type SiteRejoiner interface {
+	OnRejoin(out Outbox)
+}
+
+// CoordRejoiner is the coordinator-side counterpart of SiteRejoiner:
+// OnSiteRejoin fires when one site's link is restored, letting the
+// coordinator re-send that site whatever broadcast state it missed.
+type CoordRejoiner interface {
+	OnSiteRejoin(site int, out Outbox)
+}
+
 // BatchSiteAlgo is an optional fast path for SiteAlgo. The runtime hands a
 // batch-capable site a run of consecutive updates all destined to it, so
 // the site pays one virtual call — and one load of its thresholds and

@@ -1,0 +1,381 @@
+package dist
+
+import (
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// AsyncSim is the fault-injecting asynchronous runtime: a deterministic
+// discrete-event scheduler (virtual clock, seeded RNG, no wall time) that
+// runs unchanged CoordAlgo/SiteAlgo pairs under a NetModel. Update T of the
+// driven stream arrives at virtual tick T·UpdateGap; every message a node
+// emits becomes a delivery event whose time is shaped by the model's
+// latency, jitter, reorder window, loss, and retransmission, and whose
+// processing order is the total order (time, sequence number) — so two runs
+// with the same seed and inputs are identical, message for message.
+//
+// Under the zero NetModel every delivery lands at its send tick and events
+// pop in send (FIFO) order, which is exactly Sim's drain loop: transcripts,
+// Stats, and per-step estimates are byte-identical to Sim across any
+// algorithm pair. TestAsyncSimZeroFaultByteIdentical pins this.
+//
+// Site churn: ScheduleDown/ScheduleUp partition one site's link for a
+// virtual-time window. While partitioned the site still ingests its local
+// updates (the site is up; its network is not), but deliveries touching the
+// link fail like any other loss. On rejoin the runtime invokes the optional
+// SiteRejoiner/CoordRejoiner resync hooks so protocol layers can
+// re-establish shared state (see track.BlockSite/track.BlockCoord).
+//
+// An AsyncSim is not safe for concurrent use.
+type AsyncSim struct {
+	// Recorder, when non-nil, observes every delivered message in delivery
+	// order, stamped with the T of the latest arrived update — identical
+	// to Sim's stamping under the zero model.
+	Recorder func(TranscriptEntry)
+
+	coord CoordAlgo
+	sites []SiteAlgo
+	model NetModel
+	src   *rng.Xoshiro256
+
+	stats Stats
+	now   int64 // virtual clock
+	curT  int64 // stream T of the latest arrived update
+	seq   uint64
+	heap  eventHeap
+
+	// linkAt[i] is the latest delivery time scheduled on link i (site i →
+	// coordinator for i < k, coordinator → site i−k otherwise): the FIFO
+	// floor new deliveries may undercut by at most model.Reorder.
+	linkAt []int64
+	down   []bool
+
+	coordOut *asyncOutbox
+	siteOut  []*asyncOutbox
+}
+
+// eventKind discriminates scheduler events.
+type eventKind uint8
+
+const (
+	evDeliver eventKind = iota
+	evDown
+	evUp
+)
+
+// event is one scheduled occurrence. For evDeliver, from/to name the link
+// endpoint nodes (CoordID or a site index), sent is the original send time
+// (stable across retransmissions — staleness measures send → effect), and
+// attempt counts transmissions so far.
+type event struct {
+	at      int64
+	seq     uint64
+	kind    eventKind
+	from    int32
+	to      int32
+	attempt int
+	sent    int64
+	msg     Msg
+}
+
+// eventHeap is a binary min-heap over (at, seq). Hand-rolled rather than
+// container/heap so push/pop work on the slice directly with no interface
+// dispatch; the backing array is recycled across the run.
+type eventHeap struct {
+	ev []event
+}
+
+func (h *eventHeap) len() int { return len(h.ev) }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.ev[i].at != h.ev[j].at {
+		return h.ev[i].at < h.ev[j].at
+	}
+	return h.ev[i].seq < h.ev[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	n := len(h.ev) - 1
+	h.ev[0] = h.ev[n]
+	h.ev = h.ev[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.less(l, min) {
+			min = l
+		}
+		if r < n && h.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h.ev[i], h.ev[min] = h.ev[min], h.ev[i]
+		i = min
+	}
+	return top
+}
+
+// NewAsyncSim builds the asynchronous simulator over a coordinator, its k
+// site algorithms, a network model, and the seed of the model's RNG (drawn
+// only for jitter, loss, and nothing else, in event order — so runs are
+// reproducible bit for bit).
+func NewAsyncSim(coord CoordAlgo, sites []SiteAlgo, model NetModel, seed uint64) *AsyncSim {
+	if coord == nil || len(sites) == 0 {
+		panic("dist: NewAsyncSim needs a coordinator and at least one site")
+	}
+	model.validate()
+	s := &AsyncSim{
+		coord:  coord,
+		sites:  sites,
+		model:  model,
+		src:    rng.New(seed),
+		linkAt: make([]int64, 2*len(sites)),
+		down:   make([]bool, len(sites)),
+	}
+	s.coordOut = &asyncOutbox{s: s, from: CoordID}
+	s.siteOut = make([]*asyncOutbox, len(sites))
+	for i := range sites {
+		s.siteOut[i] = &asyncOutbox{s: s, from: int32(i)}
+	}
+	return s
+}
+
+// Step advances the virtual clock to update u's arrival tick, delivering
+// everything the network owes before then, hands u to its site, and
+// processes all events due at the arrival tick (under the zero model, the
+// whole triggered cascade — Sim.Step's drain).
+func (s *AsyncSim) Step(u stream.Update) {
+	arrival := u.T * s.model.Gap()
+	s.runUntil(arrival)
+	if arrival > s.now {
+		s.now = arrival
+	}
+	s.curT = u.T
+	s.sites[u.Site].OnUpdate(u, s.siteOut[u.Site])
+	for s.heap.len() > 0 && s.heap.ev[0].at <= s.now {
+		s.process(s.heap.pop())
+	}
+}
+
+// Run drives an entire stream through the simulator and returns the number
+// of updates processed. It does not Flush: messages still in flight after
+// the last arrival stay pending until Flush is called.
+func (s *AsyncSim) Run(st stream.Stream) int64 {
+	var steps int64
+	for {
+		u, ok := st.Next()
+		if !ok {
+			return steps
+		}
+		s.Step(u)
+		steps++
+	}
+}
+
+// Flush runs the event loop to exhaustion — every in-flight delivery,
+// retransmission, and scheduled churn transition — advancing the virtual
+// clock as it goes. After Flush the network is quiescent.
+func (s *AsyncSim) Flush() {
+	for s.heap.len() > 0 {
+		e := s.heap.pop()
+		if e.at > s.now {
+			s.now = e.at
+		}
+		s.process(e)
+	}
+}
+
+// runUntil delivers every event strictly before tick t.
+func (s *AsyncSim) runUntil(t int64) {
+	for s.heap.len() > 0 && s.heap.ev[0].at < t {
+		e := s.heap.pop()
+		if e.at > s.now {
+			s.now = e.at
+		}
+		s.process(e)
+	}
+}
+
+// Estimate returns the coordinator's current estimate f̂.
+func (s *AsyncSim) Estimate() int64 { return s.coord.Estimate() }
+
+// Stats returns the communication counters so far.
+func (s *AsyncSim) Stats() Stats { return s.stats }
+
+// Now returns the current virtual time in ticks.
+func (s *AsyncSim) Now() int64 { return s.now }
+
+// Pending returns the number of scheduled events not yet processed.
+func (s *AsyncSim) Pending() int { return s.heap.len() }
+
+// Down reports whether site's link is currently partitioned.
+func (s *AsyncSim) Down(site int) bool { return s.down[site] }
+
+// ScheduleDown partitions site's link at virtual tick at.
+func (s *AsyncSim) ScheduleDown(site int, at int64) {
+	s.pushEvent(event{at: at, kind: evDown, to: int32(site)})
+}
+
+// ScheduleUp restores site's link at virtual tick at, firing the resync
+// hooks (SiteRejoiner / CoordRejoiner) on the algorithms that implement
+// them; messages the hooks emit travel through the modeled network like any
+// others.
+func (s *AsyncSim) ScheduleUp(site int, at int64) {
+	s.pushEvent(event{at: at, kind: evUp, to: int32(site)})
+}
+
+func (s *AsyncSim) pushEvent(e event) {
+	if e.at < s.now {
+		e.at = s.now
+	}
+	e.seq = s.seq
+	s.seq++
+	s.heap.push(e)
+}
+
+// send schedules one transmission of a freshly emitted message.
+func (s *AsyncSim) send(from, to int32, m Msg) {
+	s.transmit(event{kind: evDeliver, from: from, to: to, sent: s.now, msg: m}, s.now)
+}
+
+// transmit schedules a delivery attempt of e departing at tick depart,
+// applying latency, jitter, and the per-link ordering floor.
+func (s *AsyncSim) transmit(e event, depart int64) {
+	at := depart + s.model.Latency
+	if s.model.Jitter > 0 {
+		at += s.src.Int63n(s.model.Jitter + 1)
+	}
+	link := s.link(e.from, e.to)
+	if floor := s.linkAt[link] - s.model.Reorder; at < floor {
+		at = floor
+	}
+	if at < s.now {
+		at = s.now
+	}
+	if at > s.linkAt[link] {
+		s.linkAt[link] = at
+	}
+	e.at = at
+	e.attempt++
+	s.pushEvent(e)
+}
+
+// link maps a (from, to) pair to its index in linkAt: site i → coordinator
+// is link i, coordinator → site i is link k+i.
+func (s *AsyncSim) link(from, to int32) int {
+	if to == CoordID {
+		return int(from)
+	}
+	return len(s.sites) + int(to)
+}
+
+// linkDown reports whether the link of a delivery event is partitioned:
+// any leg touching a down site is dead in both directions.
+func (s *AsyncSim) linkDown(e *event) bool {
+	if e.to == CoordID {
+		return s.down[e.from]
+	}
+	return s.down[e.to]
+}
+
+// process handles one popped event at the current virtual time.
+func (s *AsyncSim) process(e event) {
+	switch e.kind {
+	case evDown:
+		s.down[e.to] = true
+		return
+	case evUp:
+		s.down[e.to] = false
+		site := int(e.to)
+		if c, ok := s.coord.(CoordRejoiner); ok {
+			c.OnSiteRejoin(site, s.coordOut)
+		}
+		if r, ok := s.sites[site].(SiteRejoiner); ok {
+			r.OnRejoin(s.siteOut[site])
+		}
+		return
+	}
+
+	// A delivery attempt: lost if the link is partitioned or the iid coin
+	// says so, in which case the bounded retransmission budget decides
+	// between a retry RTO ticks out and giving the message up for dropped.
+	lost := s.linkDown(&e)
+	if !lost && s.model.Drop > 0 && s.src.Float64() < s.model.Drop {
+		lost = true
+	}
+	if lost {
+		if e.attempt <= s.model.Retrans {
+			s.stats.Retransmitted++
+			s.transmit(e, s.now+s.model.rto())
+		} else {
+			s.stats.Dropped++
+		}
+		return
+	}
+
+	lag := s.now - e.sent
+	s.stats.StalenessSum += lag
+	if lag > s.stats.StalenessMax {
+		s.stats.StalenessMax = lag
+	}
+	s.stats.add(&e.msg, e.to)
+	if s.Recorder != nil {
+		s.Recorder(TranscriptEntry{T: s.curT, To: e.to, Msg: e.msg})
+	}
+	if e.to == CoordID {
+		s.coord.OnMessage(e.msg, s.coordOut)
+	} else {
+		s.sites[e.to].OnMessage(e.msg, s.siteOut[e.to])
+	}
+}
+
+// asyncOutbox routes messages for node `from` through the modeled network.
+type asyncOutbox struct {
+	s    *AsyncSim
+	from int32
+}
+
+// Send implements Outbox.
+func (o *asyncOutbox) Send(m Msg) {
+	if o.from == CoordID {
+		o.Broadcast(m)
+		return
+	}
+	o.s.send(o.from, CoordID, m)
+}
+
+// SendTo implements Outbox.
+func (o *asyncOutbox) SendTo(site int, m Msg) {
+	if o.from != CoordID {
+		o.Send(m)
+		return
+	}
+	o.s.send(o.from, int32(site), m)
+}
+
+// Broadcast implements Outbox.
+func (o *asyncOutbox) Broadcast(m Msg) {
+	if o.from != CoordID {
+		o.Send(m)
+		return
+	}
+	for i := range o.s.sites {
+		o.s.send(o.from, int32(i), m)
+	}
+}

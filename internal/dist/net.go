@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/stream"
 )
@@ -34,12 +35,17 @@ func readFrame(conn net.Conn) (Msg, error) {
 type connWriter struct {
 	conn net.Conn
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []Msg
-	err    error
-	closed bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []Msg
+	inflight bool // a frame is popped but not yet written
+	err      error
+	closed   bool
 }
+
+// closeDrainTimeout bounds how long close waits for queued frames to reach
+// the socket: a peer that stopped reading must not hang shutdown forever.
+const closeDrainTimeout = 2 * time.Second
 
 func newConnWriter(conn net.Conn) *connWriter {
 	w := &connWriter{conn: conn}
@@ -57,36 +63,60 @@ func (w *connWriter) enqueue(m Msg) {
 	w.mu.Unlock()
 }
 
-// loop drains the queue until the writer is closed or a write fails; the
-// first failure is reported through fail.
+// loop drains the queue until a write fails or the writer is closed AND
+// empty — close does not abandon queued frames; it stops new ones and
+// waits for the drain. The first write failure is reported through fail.
 func (w *connWriter) loop(fail func(error)) {
 	for {
 		w.mu.Lock()
 		for len(w.queue) == 0 && !w.closed && w.err == nil {
 			w.cond.Wait()
 		}
-		if w.closed || w.err != nil {
+		if w.err != nil || (w.closed && len(w.queue) == 0) {
+			w.cond.Broadcast() // wake a close() waiting on the drain
 			w.mu.Unlock()
 			return
 		}
 		m := w.queue[0]
 		w.queue = w.queue[1:]
+		w.inflight = true
 		w.mu.Unlock()
-		if err := writeFrame(w.conn, m); err != nil {
-			w.mu.Lock()
+		err := writeFrame(w.conn, m)
+		w.mu.Lock()
+		w.inflight = false
+		if err != nil && w.err == nil {
 			w.err = err
-			w.mu.Unlock()
+		}
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		if err != nil {
 			fail(err)
 			return
 		}
 	}
 }
 
-// close stops the writer, discarding anything still queued.
-func (w *connWriter) close() {
+// close stops the writer after draining what is already queued: frames the
+// Coordinator enqueued (and counted in Stats) before shutdown still reach
+// the wire. The drain is bounded by the absolute deadline — a write
+// deadline on the connection cuts it off if the peer has stopped reading —
+// so close cannot hang, and a caller closing many writers sequentially
+// (Coordinator.Close) passes one shared deadline so total shutdown stays
+// bounded by it, not by its multiple.
+func (w *connWriter) close(deadline time.Time) {
 	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
 	w.closed = true
 	w.cond.Broadcast()
+	if w.err == nil && (len(w.queue) > 0 || w.inflight) {
+		w.conn.SetWriteDeadline(deadline)
+		for (len(w.queue) > 0 || w.inflight) && w.err == nil {
+			w.cond.Wait()
+		}
+	}
 	w.mu.Unlock()
 }
 
@@ -178,7 +208,7 @@ func (c *Coordinator) serve(conn net.Conn) {
 			// "message to unconnected site" error instead of being
 			// silently discarded while still counted in Stats.
 			c.fail(err)
-			w.close()
+			w.close(time.Now().Add(closeDrainTimeout))
 			c.mu.Lock()
 			if c.conns[id] == w {
 				c.conns[id] = nil
@@ -285,9 +315,13 @@ func (c *Coordinator) Close() error {
 	err := c.err
 	c.mu.Unlock()
 	c.ln.Close()
+	// One absolute deadline across all writers: each drain runs in its own
+	// goroutine, so waiting on them in turn still finishes by the deadline
+	// instead of paying it once per stalled site.
+	deadline := time.Now().Add(closeDrainTimeout)
 	for _, w := range conns {
 		if w != nil {
-			w.close()
+			w.close(deadline)
 			w.conn.Close()
 		}
 	}

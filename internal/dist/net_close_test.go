@@ -1,0 +1,62 @@
+package dist_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/stream"
+)
+
+// TestCoordinatorCloseDrainsQueuedFrames is the regression test for the
+// shutdown message-loss bug: connWriter.close() used to discard whatever
+// was still queued, so Coordinator.Close could drop trailing messages that
+// Stats had already counted as sent. Drive enough unbarriered traffic that
+// the per-connection write queue is nonempty at shutdown, close the
+// coordinator the moment every reply is enqueued, and require the site to
+// still receive every one of them.
+func TestCoordinatorCloseDrainsQueuedFrames(t *testing.T) {
+	coordAlgo := &echoCoord{}
+	siteAlgo := &echoSite{id: 0}
+	coord, err := dist.ListenCoordinator("127.0.0.1:0", 1, coordAlgo)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	site, err := dist.DialNetSite(coord.Addr(), 0, siteAlgo)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer site.Close()
+
+	// One echo reply per update; no barriers, so replies pile up in the
+	// coordinator's write queue faster than the site drains them.
+	const n = 50_000
+	for i := 1; i <= n; i++ {
+		site.Update(stream.Update{T: int64(i), Site: 0, Delta: 1})
+	}
+
+	// Wait until the coordinator has processed every report — at that
+	// point all n replies are enqueued and counted in Stats.
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.Stats().CoordToSite != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator processed only %d/%d reports", coord.Stats().CoordToSite, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Close immediately: everything counted as sent must still arrive.
+	if err := coord.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for site.Stats().CoordToSite != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("site received %d/%d replies after Coordinator.Close (Stats counted all %d as sent)",
+				site.Stats().CoordToSite, n, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if siteAlgo.got != n {
+		t.Fatalf("site algorithm saw %d/%d replies", siteAlgo.got, n)
+	}
+}

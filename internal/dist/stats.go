@@ -14,10 +14,41 @@ type Stats struct {
 	// CompactBits prices the same messages in the paper's
 	// O(log n + log f) bit model (varint encoding; see compactBits).
 	CompactBits int64
+
+	// The fault counters below are populated only by AsyncSim; Sim and the
+	// TCP transport deliver every message immediately, so they stay zero
+	// there — which is exactly what the zero-fault AsyncSim equivalence
+	// property requires.
+
+	// Dropped counts messages lost for good: every transmission attempt
+	// (1 + NetModel.Retrans of them) failed. Dropped messages appear in no
+	// other counter.
+	Dropped int64
+	// Retransmitted counts retransmission attempts (not messages): a
+	// message that needed three tries before landing adds two.
+	Retransmitted int64
+	// StalenessSum and StalenessMax gauge estimate staleness: for each
+	// delivered message, the virtual ticks between its original send and
+	// its effect on Estimate() (its delivery). Retransmissions age a
+	// message; they never reset its send time.
+	StalenessSum int64
+	StalenessMax int64
 }
 
 // Total returns the message count over both directions.
 func (s Stats) Total() int64 { return s.SiteToCoord + s.CoordToSite }
+
+// Delivered returns the number of messages actually delivered to a handler
+// — an alias of Total, named for reading alongside Dropped/Retransmitted.
+func (s Stats) Delivered() int64 { return s.Total() }
+
+// AvgStaleness returns the mean delivery staleness in virtual ticks.
+func (s Stats) AvgStaleness() float64 {
+	if t := s.Total(); t > 0 {
+		return float64(s.StalenessSum) / float64(t)
+	}
+	return 0
+}
 
 // add accounts one message delivered to `to` (CoordID or a site index).
 // The message is taken by pointer: add runs once per delivery and a by-

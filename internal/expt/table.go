@@ -1,5 +1,5 @@
 // Package expt is the experiment harness: one function per experiment in
-// DESIGN.md's index (E01–E24), each returning a Table of paper-vs-measured
+// DESIGN.md's index (E01–E27), each returning a Table of paper-vs-measured
 // values. The cmd/varbench CLI renders them; bench_test.go at the module
 // root wraps each one in a testing.B benchmark; EXPERIMENTS.md records a
 // full run.
@@ -10,6 +10,8 @@ import (
 	"io"
 	"strings"
 	"sync"
+
+	"repro/internal/dist"
 )
 
 // Table is a rendered experiment result.
@@ -108,6 +110,10 @@ type Config struct {
 	// own derived seed, results written by trial index, so output is
 	// byte-identical for every value). <= 1 means sequential.
 	Workers int
+	// Net, when non-nil, is an operator-supplied network model (varbench
+	// -net) that the asynchronous-runtime experiments (E25–E27) fold into
+	// their sweeps as an extra configuration.
+	Net *dist.NetModel
 }
 
 // scale shrinks n in quick mode.
@@ -166,6 +172,9 @@ func All() []Experiment {
 		{"E22", "historical order statistics (§2 remarks, Tao et al.)", E22QuantileHistory},
 		{"E23", "thresholded monitoring (k,f,τ,ε) (§2)", E23Threshold},
 		{"E24", "distributed ranks/quantiles via dyadic decomposition (§5.1)", E24DyadicRank},
+		{"E25", "async runtime: staleness vs latency", E25AsyncStaleness},
+		{"E26", "async runtime: violations vs drop probability", E26AsyncDrops},
+		{"E27", "async runtime: churn recovery", E27AsyncChurn},
 	}
 }
 

@@ -8,72 +8,154 @@ import (
 )
 
 // Trace file I/O: record a workload once, replay it against any tracker.
-// The format is a magic header followed by delta-varint encoded updates
+// The format is a magic header (format 2 also carries the site count k the
+// workload was assigned for) followed by delta-varint encoded updates
 // (timestep gaps are implicit — updates are consecutive — so each record
 // is site gap, delta, item gap), making recorded traces a few bytes per
 // update. cmd tools and tests use this to compare algorithms on identical
 // workloads across processes.
 
-// traceMagic identifies trace files (format version 1).
-var traceMagic = [8]byte{'s', 't', 'r', 'v', 'a', 'r', '0', '1'}
+// traceMagicV1 identifies format-1 trace files: no site count in the
+// header. Still readable; K() reports 0 (unknown).
+var traceMagicV1 = [8]byte{'s', 't', 'r', 'v', 'a', 'r', '0', '1'}
 
-// WriteTrace serializes all updates of s to w. It returns the number of
-// updates written.
-func WriteTrace(w io.Writer, s Stream) (int64, error) {
+// traceMagicV2 identifies format-2 trace files: the header carries a
+// uvarint site count k (0 = not recorded) so replay tools can validate a
+// trace against their -k instead of indexing out of range at runtime.
+var traceMagicV2 = [8]byte{'s', 't', 'r', 'v', 'a', 'r', '0', '2'}
+
+// maxTraceK bounds the header site count a reader will accept: a value
+// beyond it means a corrupt or hostile header, not a real deployment.
+const maxTraceK = 1 << 24
+
+// TraceWriter streams updates into the trace format one at a time, so a
+// recording tee can write a workload while a live run consumes it —
+// without materializing the stream (the historical WriteTrace-after-
+// Collect pattern held the whole workload in memory and, worse, invited
+// recording a different stream than the one the run saw).
+type TraceWriter struct {
+	bw       *bufio.Writer
+	prevSite int64
+	prevItem uint64
+	count    int64
+}
+
+// NewTraceWriter writes a format-2 header for a workload assigned over k
+// sites (k = 0 records "unknown") and returns the streaming writer. The
+// caller must Flush when done.
+func NewTraceWriter(w io.Writer, k int) (*TraceWriter, error) {
+	if k < 0 || k > maxTraceK {
+		return nil, fmt.Errorf("stream: trace site count %d out of range [0, %d]", k, maxTraceK)
+	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(traceMagic[:]); err != nil {
-		return 0, err
+	if _, err := bw.Write(traceMagicV2[:]); err != nil {
+		return nil, err
 	}
 	var tmp [binary.MaxVarintLen64]byte
-	var count int64
-	var prevSite int64
-	var prevItem uint64
+	n := binary.PutUvarint(tmp[:], uint64(k))
+	if _, err := bw.Write(tmp[:n]); err != nil {
+		return nil, err
+	}
+	return &TraceWriter{bw: bw}, nil
+}
+
+// Write appends one update.
+func (tw *TraceWriter) Write(u Update) error {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], int64(u.Site)-tw.prevSite)
+	if _, err := tw.bw.Write(tmp[:n]); err != nil {
+		return err
+	}
+	n = binary.PutVarint(tmp[:], u.Delta)
+	if _, err := tw.bw.Write(tmp[:n]); err != nil {
+		return err
+	}
+	n = binary.PutVarint(tmp[:], int64(u.Item)-int64(tw.prevItem))
+	if _, err := tw.bw.Write(tmp[:n]); err != nil {
+		return err
+	}
+	tw.prevSite = int64(u.Site)
+	tw.prevItem = u.Item
+	tw.count++
+	return nil
+}
+
+// Count returns the number of updates written so far.
+func (tw *TraceWriter) Count() int64 { return tw.count }
+
+// Flush drains buffered bytes to the underlying writer.
+func (tw *TraceWriter) Flush() error { return tw.bw.Flush() }
+
+// WriteTrace serializes all updates of s to w with an unrecorded site
+// count; use WriteTraceK when k is known so replays can be validated. It
+// returns the number of updates written.
+func WriteTrace(w io.Writer, s Stream) (int64, error) {
+	return WriteTraceK(w, s, 0)
+}
+
+// WriteTraceK serializes all updates of s to w, recording k as the site
+// count the workload was assigned for. It returns the number of updates
+// written.
+func WriteTraceK(w io.Writer, s Stream, k int) (int64, error) {
+	tw, err := NewTraceWriter(w, k)
+	if err != nil {
+		return 0, err
+	}
 	for {
 		u, ok := s.Next()
 		if !ok {
 			break
 		}
-		n := binary.PutVarint(tmp[:], int64(u.Site)-prevSite)
-		if _, err := bw.Write(tmp[:n]); err != nil {
-			return count, err
+		if err := tw.Write(u); err != nil {
+			return tw.Count(), err
 		}
-		n = binary.PutVarint(tmp[:], u.Delta)
-		if _, err := bw.Write(tmp[:n]); err != nil {
-			return count, err
-		}
-		n = binary.PutVarint(tmp[:], int64(u.Item)-int64(prevItem))
-		if _, err := bw.Write(tmp[:n]); err != nil {
-			return count, err
-		}
-		prevSite = int64(u.Site)
-		prevItem = u.Item
-		count++
 	}
-	return count, bw.Flush()
+	return tw.Count(), tw.Flush()
 }
 
 // TraceReader replays a trace written by WriteTrace as a Stream.
 type TraceReader struct {
 	br       *bufio.Reader
+	k        int
 	t        int64
 	prevSite int64
 	prevItem uint64
 	err      error
 }
 
-// NewTraceReader validates the header and returns a reader positioned at
-// the first update.
+// NewTraceReader validates the header (formats 1 and 2) and returns a
+// reader positioned at the first update.
 func NewTraceReader(r io.Reader) (*TraceReader, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("stream: reading trace header: %w", err)
 	}
-	if magic != traceMagic {
+	tr := &TraceReader{br: br}
+	switch magic {
+	case traceMagicV1:
+		// Format 1 carried no site count; K() = 0 tells callers to
+		// validate site ids themselves.
+	case traceMagicV2:
+		k, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("stream: truncated trace header: %w", err)
+		}
+		if k > maxTraceK {
+			return nil, fmt.Errorf("stream: corrupt trace header: site count %d out of range", k)
+		}
+		tr.k = int(k)
+	default:
 		return nil, fmt.Errorf("stream: not a trace file (magic %q)", magic[:])
 	}
-	return &TraceReader{br: br}, nil
+	return tr, nil
 }
+
+// K returns the site count recorded in the trace header: every update's
+// Site is validated to lie in [0, K) while reading. 0 means the trace
+// predates the k field (format 1) or chose not to record it — callers must
+// bounds-check site ids themselves before indexing per-site state.
+func (tr *TraceReader) K() int { return tr.k }
 
 // Next implements Stream.
 func (tr *TraceReader) Next() (Update, bool) {
@@ -98,6 +180,11 @@ func (tr *TraceReader) Next() (Update, bool) {
 		return Update{}, false
 	}
 	tr.prevSite += dsite
+	if tr.prevSite < 0 || (tr.k > 0 && tr.prevSite >= int64(tr.k)) {
+		tr.err = fmt.Errorf("stream: corrupt trace: site %d out of range at update %d (trace k=%d)",
+			tr.prevSite, tr.t+1, tr.k)
+		return Update{}, false
+	}
 	tr.prevItem = uint64(int64(tr.prevItem) + ditem)
 	tr.t++
 	return Update{T: tr.t, Site: int(tr.prevSite), Delta: delta, Item: tr.prevItem}, true

@@ -47,6 +47,15 @@ type InBlockCoord interface {
 	Drift() int64
 }
 
+// InBlockRejoiner is an optional InBlockSite extension mirroring
+// dist.SiteRejoiner one layer down: the partitioner forwards a rejoin
+// notification so the in-block estimator can re-send its absolute state
+// (reports lost during a partition are never retried by the protocol
+// itself). Emitted messages must be idempotent on the coordinator side.
+type InBlockRejoiner interface {
+	OnRejoin(out dist.Outbox)
+}
+
 // ceilPow2Half returns ⌈2^{r−1}⌉: the batch size for count reports in a
 // block with exponent r. For r = 0 this is ⌈1/2⌉ = 1.
 func ceilPow2Half(r int64) int64 {
@@ -79,13 +88,16 @@ func blockExponent(f int64, k int) int64 {
 type BlockSite struct {
 	id    int32
 	inner InBlockSite
-	// innerBatch is inner if it implements InBlockBatchSite, else nil;
-	// the assertion is paid once at construction.
-	innerBatch InBlockBatchSite
-	r          int64
-	batch      int64 // ⌈2^{r−1}⌉
-	ci         int64 // updates since the last count report or state reply
-	fi         int64 // net change in f since the last block broadcast
+	// innerBatch/innerRejoin are inner if it implements the respective
+	// optional interface, else nil; the assertions are paid once at
+	// construction.
+	innerBatch  InBlockBatchSite
+	innerRejoin InBlockRejoiner
+	r           int64
+	batch       int64 // ⌈2^{r−1}⌉
+	ci          int64 // updates since the last count report or state reply
+	fi          int64 // net change in f since the last block broadcast
+	seenBlocks  int64 // block broadcasts adopted; the site's block sequence
 }
 
 // NewBlockSite wraps inner with the partition protocol for site id.
@@ -93,6 +105,9 @@ func NewBlockSite(id int, inner InBlockSite) *BlockSite {
 	s := &BlockSite{id: int32(id), inner: inner, batch: ceilPow2Half(0)}
 	if b, ok := inner.(InBlockBatchSite); ok {
 		s.innerBatch = b
+	}
+	if r, ok := inner.(InBlockRejoiner); ok {
+		s.innerRejoin = r
 	}
 	inner.Reset(0, nil)
 	return s
@@ -149,9 +164,59 @@ func (s *BlockSite) OnMessage(m dist.Msg, out dist.Outbox) {
 		// carry over into the next block rather than be dropped.
 		s.fi = 0
 	case dist.KindNewBlock:
+		// A set low Item bit marks a resync copy sent by
+		// BlockCoord.OnSiteRejoin; the remaining bits carry the
+		// coordinator's completed-block count. Comparing that against the
+		// count of broadcasts this site has adopted decides whether the
+		// site missed a boundary — the only identity that works, because
+		// (r, f(n_j)) repeats whenever a block closes with zero net change.
+		// A current site must NOT reset (that would destroy live in-block
+		// drift the coordinator still mirrors); it re-sends absolute
+		// estimator state instead, healing whatever reports the outage
+		// swallowed. A site that did miss a boundary falls through to the
+		// normal adoption below, recording the authoritative sequence.
+		if m.Item&1 == 1 {
+			if int64(m.Item>>1) == s.seenBlocks {
+				if s.innerRejoin != nil {
+					s.innerRejoin.OnRejoin(out)
+				}
+				return
+			}
+			s.seenBlocks = int64(m.Item >> 1)
+		} else {
+			s.seenBlocks++
+		}
+		// Adopting a block while holding an uncollected count or net
+		// change means the closing collection ran without this site's
+		// latest state (on an asynchronous runtime updates land between a
+		// site's reply and the broadcast; after a partition, whole
+		// collections can). That state is about to leave the drift
+		// estimator — surrender it as a late reply, which BlockCoord folds
+		// into f(n_j), so no update ever falls out of the estimate. In the
+		// synchronous model ci and fi are always zero here (the reply and
+		// the broadcast sit in one quiescent cascade), so this sends
+		// nothing and Sim behaviour is unchanged.
+		if s.ci != 0 || s.fi != 0 {
+			out.Send(dist.Msg{Kind: dist.KindStateReply, Site: s.id, A: s.ci, B: s.fi})
+			s.ci = 0
+			s.fi = 0
+		}
 		s.r = m.A
 		s.batch = ceilPow2Half(s.r)
 		s.inner.Reset(s.r, out)
+	}
+}
+
+// OnRejoin implements dist.SiteRejoiner: flush the pending update count so
+// the coordinator's t̂ catches up (counts inside reports lost during the
+// outage are gone for good — they only delay the block end, never corrupt
+// it). Estimator state resync is deferred to the coordinator's resync
+// NewBlock (see OnMessage), which tells this site whether its block
+// identity is still current.
+func (s *BlockSite) OnRejoin(out dist.Outbox) {
+	if s.ci > 0 {
+		out.Send(dist.Msg{Kind: dist.KindCountReport, Site: s.id, A: s.ci})
+		s.ci = 0
 	}
 }
 
@@ -169,7 +234,8 @@ type BlockCoord struct {
 
 	collecting bool
 	replies    int
-	fDelta     int64 // Σ f_i accumulated from state replies
+	replied    []bool // per-site: reply received for the open collection
+	fDelta     int64  // Σ f_i accumulated from state replies
 
 	// Diagnostics for experiments and tests.
 	blocks     int64   // completed blocks
@@ -179,7 +245,8 @@ type BlockCoord struct {
 
 // NewBlockCoord wraps inner with the partition protocol for k sites.
 func NewBlockCoord(k int, inner InBlockCoord) *BlockCoord {
-	c := &BlockCoord{k: k, inner: inner, tj: ceilPow2Half(0) * int64(k)}
+	c := &BlockCoord{k: k, inner: inner, tj: ceilPow2Half(0) * int64(k),
+		replied: make([]bool, k)}
 	c.blockStart = append(c.blockStart, 0)
 	inner.Reset(0)
 	return c
@@ -193,13 +260,29 @@ func (c *BlockCoord) OnMessage(m dist.Msg, out dist.Outbox) {
 		if !c.collecting && c.that >= c.tj {
 			c.collecting = true
 			c.replies = 0
+			clear(c.replied)
 			c.fDelta = 0
 			out.Broadcast(dist.Msg{Kind: dist.KindStateRequest, Site: dist.CoordID})
 		}
 	case dist.KindStateReply:
 		if !c.collecting {
+			// A straggler from a collection that already closed (possible
+			// only on faulty runtimes: a rejoin re-request raced a delayed
+			// reply). Its counts are real — fold them into the boundary
+			// value and the running t̂ so no update is lost — but the
+			// collection it was meant for is over.
+			c.fnj += m.B
+			c.that += m.A
 			return
 		}
+		if c.replied[m.Site] {
+			// Duplicate reply for the open collection (same race as
+			// above). Keep its counts, don't double-count the reply.
+			c.that += m.A
+			c.fDelta += m.B
+			return
+		}
+		c.replied[m.Site] = true
 		c.that += m.A
 		c.fDelta += m.B
 		c.replies++
@@ -208,6 +291,22 @@ func (c *BlockCoord) OnMessage(m dist.Msg, out dist.Outbox) {
 		}
 	default:
 		c.inner.OnMessage(m)
+	}
+}
+
+// OnSiteRejoin implements dist.CoordRejoiner: a site whose link just healed
+// may have missed block broadcasts or an in-flight state request, either of
+// which stalls it (wrong thresholds) or the whole protocol (a collection
+// waiting forever on its reply). Re-send the current block identity as a
+// resync copy (low Item bit set, completed-block sequence in the rest; see
+// BlockSite.OnMessage for why sequence equality is the one safe identity)
+// and, if a collection is open and this site has not answered, re-request
+// its state.
+func (c *BlockCoord) OnSiteRejoin(site int, out dist.Outbox) {
+	out.SendTo(site, dist.Msg{Kind: dist.KindNewBlock, Site: dist.CoordID,
+		Item: 1 | uint64(c.blocks)<<1, A: c.r, B: c.fnj})
+	if c.collecting && !c.replied[site] {
+		out.SendTo(site, dist.Msg{Kind: dist.KindStateRequest, Site: dist.CoordID})
 	}
 }
 

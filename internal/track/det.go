@@ -58,6 +58,14 @@ func (s *detSite) OnUpdateBatch(us []stream.Update, out dist.Outbox) int {
 	return len(us)
 }
 
+// OnRejoin implements InBlockRejoiner: drift reports carry the absolute
+// in-block drift d_i, so re-sending the current value heals whatever the
+// outage swallowed — the coordinator overwrites d̂_i idempotently.
+func (s *detSite) OnRejoin(out dist.Outbox) {
+	out.Send(dist.Msg{Kind: dist.KindDriftReport, Site: s.id, A: s.di})
+	s.delta = 0
+}
+
 // detCoord is the coordinator half of the deterministic tracker. The
 // per-site d̂_i live in a dense slice — k is fixed at construction and site
 // ids are the indices, so a message costs an array write, not a map probe.

@@ -102,6 +102,16 @@ func (s *randSite) OnUpdateBatch(us []stream.Update, out dist.Outbox) int {
 	return len(us)
 }
 
+// OnRejoin implements InBlockRejoiner: re-send both estimator copies'
+// exact counts. B = ±2 marks the reports as exact resyncs — unlike sampled
+// reports they carry no 1/p debias (see randCoord.OnMessage) — so a healed
+// link restores the coordinator's copies to the truth rather than to a
+// debiased sample.
+func (s *randSite) OnRejoin(out dist.Outbox) {
+	out.Send(dist.Msg{Kind: dist.KindDriftReport, Site: s.id, A: s.dplus, B: 2})
+	out.Send(dist.Msg{Kind: dist.KindDriftReport, Site: s.id, A: s.dminus, B: -2})
+}
+
 // randCoord is the coordinator half of the randomized tracker. As in
 // detCoord, the per-site estimates are dense slices indexed by site id.
 type randCoord struct {
@@ -128,6 +138,11 @@ func (c *randCoord) OnMessage(m dist.Msg) {
 		return
 	}
 	est := float64(m.A) - 1 + 1/c.p
+	if m.B == 2 || m.B == -2 {
+		// Exact resync report (randSite.OnRejoin): the count itself, no
+		// sampling debias.
+		est = float64(m.A)
+	}
 	if m.B > 0 {
 		c.sum += est - c.dplus[m.Site]
 		c.dplus[m.Site] = est
