@@ -59,6 +59,8 @@ func BenchmarkE24DyadicRank(b *testing.B)          { benchExperiment(b, "E24") }
 func BenchmarkE25AsyncStaleness(b *testing.B)      { benchExperiment(b, "E25") }
 func BenchmarkE26AsyncDrops(b *testing.B)          { benchExperiment(b, "E26") }
 func BenchmarkE27AsyncChurn(b *testing.B)          { benchExperiment(b, "E27") }
+func BenchmarkE28MuxAmortization(b *testing.B)     { benchExperiment(b, "E28") }
+func BenchmarkE29DynamicAttach(b *testing.B)       { benchExperiment(b, "E29") }
 
 // benchTrackerThroughput measures end-to-end simulator throughput
 // (updates/sec) for a tracker on a generated stream — the systems-facing

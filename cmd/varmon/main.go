@@ -1,13 +1,25 @@
 // Command varmon demonstrates the library as a real distributed monitoring
-// service: a coordinator and k sites track a simulated update stream with
-// the deterministic variability tracker of §3.3 and periodically print the
-// coordinator's estimate against the true value.
+// service: a coordinator and k sites track a simulated update stream and
+// periodically print the coordinator's estimate against the true value.
 //
-// By default the run is live TCP on loopback. With -net the run moves to
-// the fault-injecting asynchronous simulator (dist.AsyncSim) under the
-// given network model, adding staleness and loss counters to the report:
+// By default the run is live TCP on loopback with the deterministic
+// variability tracker of §3.3. With -net the run moves to the
+// fault-injecting asynchronous simulator (dist.AsyncSim) under the given
+// network model, adding staleness and loss counters to the report:
 //
 //	varmon -net latency=8,jitter=2,drop=0.01,retrans=3
+//
+// With -queries the run becomes a multi-tenant monitor (internal/query):
+// Q concurrent tracking queries — mixed algorithms, ε's, item filters —
+// multiplexed over the one shared runtime, with per-query cost and error
+// reporting. Queries with an at=T option attach mid-stream, bootstrapping
+// the history they missed through the resync machinery:
+//
+//	varmon -stream zipf -queries 'det,eps=0.05;freq,eps=0.1;det,eps=0.1,filter=even;rand,eps=0.1,at=50000'
+//
+// -http ADDR (with -queries, live TCP only) serves a JSON status endpoint
+// (GET /status) with per-query estimates and communication counters while
+// the run is in flight.
 //
 // Workloads can be recorded while running (-record FILE, a streaming tee —
 // the run and the file see the identical updates) and replayed (-replay
@@ -15,16 +27,20 @@
 //
 // Usage:
 //
-//	varmon [-k 4] [-eps 0.1] [-n 100000] [-stream randwalk|biased|monotone|sawtooth] [-seed 1]
-//	       [-record FILE] [-replay FILE] [-net MODEL]
+//	varmon [-k 4] [-eps 0.1] [-n 100000] [-stream randwalk|biased|monotone|sawtooth|zipf] [-seed 1]
+//	       [-queries SPECS] [-http ADDR] [-record FILE] [-replay FILE] [-net MODEL]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"strings"
 
 	"repro/internal/dist"
+	"repro/internal/query"
 	"repro/internal/stream"
 	"repro/internal/track"
 )
@@ -32,6 +48,36 @@ import (
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "varmon: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// streamClasses is the CLI's workload menu, in display order. zipf is the
+// item workload of appendix H (Zipf-distributed inserts with uniform
+// deletions), which gives frequency queries something to track.
+var streamClasses = []struct {
+	name string
+	make func(n int64, seed uint64) stream.Stream
+}{
+	{"randwalk", func(n int64, seed uint64) stream.Stream { return stream.RandomWalk(n, seed) }},
+	{"biased", func(n int64, seed uint64) stream.Stream { return stream.BiasedWalk(n, 0.2, seed) }},
+	{"monotone", func(n int64, seed uint64) stream.Stream { return stream.Monotone(n) }},
+	{"sawtooth", func(n int64, seed uint64) stream.Stream { return stream.Sawtooth(n, 64, 32) }},
+	{"zipf", func(n int64, seed uint64) stream.Stream { return stream.NewItemGen(n, 4096, 1.1, 0.2, seed) }},
+}
+
+// makeStream resolves a -stream class name, or exits with a friendly error
+// naming the valid classes.
+func makeStream(class string, n int64, seed uint64) stream.Stream {
+	names := make([]string, len(streamClasses))
+	for i, c := range streamClasses {
+		names[i] = c.name
+		if c.name == class {
+			return c.make(n, seed)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "varmon: unknown stream class %q (valid classes: %s)\n",
+		class, strings.Join(names, "|"))
+	os.Exit(2)
+	return nil
 }
 
 // tee passes an assigned stream through while writing every update to a
@@ -54,32 +100,21 @@ func (t *tee) Next() (stream.Update, bool) {
 
 func main() {
 	var (
-		k       = flag.Int("k", 4, "number of sites")
-		eps     = flag.Float64("eps", 0.1, "relative error parameter")
-		n       = flag.Int64("n", 100_000, "stream length")
-		seed    = flag.Uint64("seed", 1, "stream seed")
-		sclass  = flag.String("stream", "randwalk", "stream class: randwalk|biased|monotone|sawtooth")
-		refresh = flag.Int64("progress", 10, "progress lines to print")
-		record  = flag.String("record", "", "tee the workload into this trace file while running")
-		replay  = flag.String("replay", "", "drive the run from a recorded trace file instead of a generator")
-		netFlag = flag.String("net", "", "run on the async fault simulator under this model (e.g. latency=8,jitter=2,drop=0.01,retrans=3) instead of live TCP")
+		k        = flag.Int("k", 4, "number of sites")
+		eps      = flag.Float64("eps", 0.1, "relative error parameter (single-query mode)")
+		n        = flag.Int64("n", 100_000, "stream length")
+		seed     = flag.Uint64("seed", 1, "stream seed")
+		sclass   = flag.String("stream", "randwalk", "stream class: randwalk|biased|monotone|sawtooth|zipf")
+		refresh  = flag.Int64("progress", 10, "progress lines to print")
+		record   = flag.String("record", "", "tee the workload into this trace file while running")
+		replay   = flag.String("replay", "", "drive the run from a recorded trace file instead of a generator")
+		netFlag  = flag.String("net", "", "run on the async fault simulator under this model (e.g. latency=8,jitter=2,drop=0.01,retrans=3) instead of live TCP")
+		queries  = flag.String("queries", "", "multi-query mode: ';'-separated query specs, e.g. 'det,eps=0.1;freq,eps=0.2,filter=even;rand,eps=0.05,at=50000'")
+		httpAddr = flag.String("http", "", "with -queries over TCP: serve live JSON status on this address (GET /status)")
 	)
 	flag.Parse()
 
-	var gen stream.Stream
-	switch *sclass {
-	case "randwalk":
-		gen = stream.RandomWalk(*n, *seed)
-	case "biased":
-		gen = stream.BiasedWalk(*n, 0.2, *seed)
-	case "monotone":
-		gen = stream.Monotone(*n)
-	case "sawtooth":
-		gen = stream.Sawtooth(*n, 64, 32)
-	default:
-		fmt.Fprintf(os.Stderr, "varmon: unknown stream class %q\n", *sclass)
-		os.Exit(2)
-	}
+	gen := makeStream(*sclass, *n, *seed)
 
 	// The driven stream: replayed traces already carry site assignments
 	// (validated against -k below); generated workloads get round-robin.
@@ -132,13 +167,32 @@ func main() {
 		every = 1
 	}
 
+	var model *dist.NetModel
 	if *netFlag != "" {
-		model, err := dist.ParseNetModel(*netFlag)
+		m, err := dist.ParseNetModel(*netFlag)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		runAsync(st, *k, *eps, every, model, *seed)
-	} else {
+		model = &m
+	}
+
+	if *httpAddr != "" && (*queries == "" || model != nil) {
+		fatalf("-http needs -queries over the live TCP runtime (drop -net)")
+	}
+	switch {
+	case *queries != "":
+		specs, err := query.ParseSpecs(*queries)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if model != nil {
+			runQueriesAsync(st, *k, specs, every, *model, *seed)
+		} else {
+			runQueriesTCP(st, *k, specs, every, *httpAddr)
+		}
+	case model != nil:
+		runAsync(st, *k, *eps, every, *model, *seed)
+	default:
 		runTCP(st, *k, *eps, every)
 	}
 
@@ -171,25 +225,8 @@ func runTCP(st stream.Stream, k int, eps float64, every int64) {
 	defer coord.Close()
 	fmt.Printf("coordinator listening on %s; %d sites connecting\n", coord.Addr(), k)
 
-	sites := make([]*dist.NetSite, k)
-	for i := 0; i < k; i++ {
-		s, err := dist.DialNetSite(coord.Addr(), i, siteAlgos[i])
-		if err != nil {
-			fatalf("dial site %d: %v", i, err)
-		}
-		defer s.Close()
-		sites[i] = s
-	}
-
-	barrierAll := func(context string) {
-		for round := 0; round < 2; round++ {
-			for _, s := range sites {
-				if err := s.Barrier(); err != nil {
-					fatalf("%s: %v", context, err)
-				}
-			}
-		}
-	}
+	sites := dialSites(coord.Addr(), k, siteAlgos)
+	defer closeSites(sites)
 
 	var f, steps int64
 	for {
@@ -203,14 +240,14 @@ func runTCP(st stream.Stream, k int, eps float64, every int64) {
 		sites[u.Site].Update(u)
 		if u.T%every == 0 {
 			// Flush so the printed estimate reflects all sent messages.
-			barrierAll("barrier")
+			barrierAll(sites, "barrier")
 			est := coord.Estimate()
 			fmt.Printf("t=%-10d f=%-10d f̂=%-10d rel.err=%-8.5f msgs=%d\n",
 				u.T, f, est, relErr(f, est), coord.Stats().Total())
 		}
 	}
 
-	barrierAll("final barrier")
+	barrierAll(sites, "final barrier")
 	stats := coord.Stats()
 	fmt.Printf("\nfinal: f=%d f̂=%d | messages=%d (%.4f/update) wire bytes=%d\n",
 		f, coord.Estimate(), stats.Total(),
@@ -250,6 +287,308 @@ func runAsync(st stream.Stream, k int, eps float64, every int64, model dist.NetM
 	fmt.Printf("net: virtual time=%d delivered=%d dropped=%d retransmitted=%d staleness avg=%.1f max=%d\n",
 		sim.Now(), stats.Delivered(), stats.Dropped, stats.Retransmitted,
 		stats.AvgStaleness(), stats.StalenessMax)
+}
+
+// exactMonitor tracks the ground truth every query is judged against: the
+// net count, and per-item net counts for filtered and frequency queries.
+type exactMonitor struct {
+	f     int64
+	items map[uint64]int64
+}
+
+func newExactMonitor() *exactMonitor {
+	return &exactMonitor{items: make(map[uint64]int64)}
+}
+
+func (e *exactMonitor) apply(u stream.Update) {
+	e.f += u.Delta
+	if n := e.items[u.Item] + u.Delta; n == 0 {
+		delete(e.items, u.Item)
+	} else {
+		e.items[u.Item] = n
+	}
+}
+
+// want returns the true value a spec's estimate chases: the net count,
+// restricted to the filter when one is set (for frequency queries that is
+// the filtered F1).
+func (e *exactMonitor) want(spec query.Spec) int64 {
+	if spec.Filter == nil {
+		return e.f
+	}
+	var w int64
+	for item, v := range e.items {
+		if spec.Filter.Match(item) {
+			w += v
+		}
+	}
+	return w
+}
+
+// queryPlan splits specs into the initially attached set and the pending
+// mid-stream attaches, preserving CLI order in the final report.
+type queryPlan struct {
+	specs []query.Spec
+	qid   []int // spec index -> query id, -1 until attached
+}
+
+func newQueryPlan(specs []query.Spec) (*queryPlan, []query.Spec) {
+	p := &queryPlan{specs: specs, qid: make([]int, len(specs))}
+	var initial []query.Spec
+	for i, s := range specs {
+		if s.AttachAt > 0 {
+			p.qid[i] = -1
+			continue
+		}
+		p.qid[i] = len(initial)
+		initial = append(initial, s)
+	}
+	return p, initial
+}
+
+// due invokes attach for every pending spec whose attach point has passed.
+func (p *queryPlan) due(step int64, attach func(spec query.Spec) int) {
+	for i, s := range p.specs {
+		if p.qid[i] < 0 && step >= s.AttachAt {
+			p.qid[i] = attach(s)
+			fmt.Printf("t=%-10d attached query %s (qid %d)\n", step, s.Label(p.qid[i]), p.qid[i])
+		}
+	}
+}
+
+// report prints the final per-query table.
+func (p *queryPlan) report(eng *query.Coord, ex *exactMonitor, class []dist.Stats) {
+	fmt.Printf("\n%-12s %-10s %-7s %-10s %-10s %-9s %-6s %-9s %-11s %s\n",
+		"query", "algo", "eps", "estimate", "true", "rel.err", "in-ε", "msgs", "wire bytes", "note")
+	allOK := true
+	for i, spec := range p.specs {
+		qid := p.qid[i]
+		if qid < 0 {
+			fmt.Printf("%-12s %-10s %-7g never attached (at=%d > n)\n", spec.Label(i), spec.Algo, spec.Eps, spec.AttachAt)
+			continue
+		}
+		est, _ := eng.EstimateQuery(qid)
+		want := ex.want(spec)
+		re := relErr(want, est)
+		ok := re <= spec.Eps+1e-9
+		var notes []string
+		if spec.Filter != nil {
+			notes = append(notes, "filter="+spec.Filter.Name)
+		}
+		if st, isThresh := eng.ThresholdState(qid); isThresh {
+			// The threshold promise is the two-sided decision, judged on
+			// the underlying tracked estimate above.
+			notes = append(notes, fmt.Sprintf("f %s τ=%d", st, spec.Tau))
+		}
+		if spec.AttachAt > 0 {
+			notes = append(notes, fmt.Sprintf("attached@%d", spec.AttachAt))
+		}
+		note := strings.Join(notes, " ")
+		var msgs, bytes int64
+		if qid < len(class) {
+			msgs, bytes = class[qid].Total(), class[qid].Bytes
+		}
+		fmt.Printf("%-12s %-10s %-7g %-10d %-10d %-9.5f %-6v %-9d %-11d %s\n",
+			spec.Label(qid), spec.Algo, spec.Eps, est, want, re, ok, msgs, bytes, note)
+		if !ok {
+			allOK = false
+		}
+	}
+	if !allOK {
+		fmt.Println("WARNING: a query finished outside its ε band")
+	}
+}
+
+func dialSites(addr string, k int, siteAlgos []dist.SiteAlgo) []*dist.NetSite {
+	sites := make([]*dist.NetSite, k)
+	for i := 0; i < k; i++ {
+		s, err := dist.DialNetSite(addr, i, siteAlgos[i])
+		if err != nil {
+			fatalf("dial site %d: %v", i, err)
+		}
+		sites[i] = s
+	}
+	return sites
+}
+
+func closeSites(sites []*dist.NetSite) {
+	for _, s := range sites {
+		s.Close()
+	}
+}
+
+func barrierAll(sites []*dist.NetSite, context string) {
+	for round := 0; round < 2; round++ {
+		for _, s := range sites {
+			if err := s.Barrier(); err != nil {
+				fatalf("%s: %v", context, err)
+			}
+		}
+	}
+}
+
+// barrierQuiesce flushes barrier rounds until the coordinator's counters
+// stop moving — a block collection is a multi-leg cascade, so a fixed
+// number of rounds is not enough for a consistent multi-query snapshot.
+// The round cap is a safety valve; hitting it means the report below may
+// be a mid-cascade snapshot, so say so instead of staying silent.
+func barrierQuiesce(coord *dist.Coordinator, sites []*dist.NetSite, context string) {
+	prev := dist.Stats{}
+	for round := 0; round < 16; round++ {
+		for _, s := range sites {
+			if err := s.Barrier(); err != nil {
+				fatalf("%s: %v", context, err)
+			}
+		}
+		st := coord.Stats()
+		if st == prev {
+			return
+		}
+		prev = st
+	}
+	fmt.Fprintln(os.Stderr, "varmon: network still active after 16 barrier rounds; the report below may be a mid-cascade snapshot")
+}
+
+// liveStatus is the -http JSON document.
+type liveStatus struct {
+	Queries  []query.Status `json:"queries"`
+	Stats    dist.Stats     `json:"stats"`
+	PerQuery []dist.Stats   `json:"per_query"`
+}
+
+func runQueriesTCP(st stream.Stream, k int, specs []query.Spec, every int64, httpAddr string) {
+	plan, initial := newQueryPlan(specs)
+	eng, siteAlgos, err := query.New(k, initial)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	coord, err := dist.ListenCoordinator("127.0.0.1:0", k, eng)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	defer coord.Close()
+	coord.SetClassifier(eng)
+	fmt.Printf("multi-query coordinator on %s; %d sites, %d queries (%d pending attach)\n",
+		coord.Addr(), k, len(specs), len(specs)-len(initial))
+
+	sites := dialSites(coord.Addr(), k, siteAlgos)
+	defer closeSites(sites)
+
+	if httpAddr != "" {
+		mux := http.NewServeMux()
+		handler := func(w http.ResponseWriter, r *http.Request) {
+			var doc liveStatus
+			coord.Inject(func(dist.Outbox) { doc.Queries = eng.Status() })
+			doc.Stats = coord.Stats()
+			doc.PerQuery = coord.ClassStats()
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(doc)
+		}
+		mux.HandleFunc("/status", handler)
+		mux.HandleFunc("/", handler)
+		go func() {
+			if err := http.ListenAndServe(httpAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "varmon: http: %v\n", err)
+			}
+		}()
+		fmt.Printf("live status on http://%s/status\n", httpAddr)
+	}
+
+	ex := newExactMonitor()
+	var steps int64
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		checkSite(u, k)
+		ex.apply(u)
+		steps++
+		sites[u.Site].Update(u)
+		plan.due(steps, func(spec query.Spec) int {
+			var qid int
+			coord.Inject(func(out dist.Outbox) {
+				var aerr error
+				if qid, aerr = eng.Attach(spec, out); aerr != nil {
+					err = aerr
+				}
+			})
+			if err != nil {
+				fatalf("attach: %v", err)
+			}
+			return qid
+		})
+		if u.T%every == 0 {
+			barrierAll(sites, "barrier")
+			var status []query.Status
+			coord.Inject(func(dist.Outbox) { status = eng.Status() })
+			line := fmt.Sprintf("t=%-10d f=%-8d", u.T, ex.f)
+			for _, q := range status {
+				line += fmt.Sprintf("  %s=%d", q.Name, q.Estimate)
+			}
+			fmt.Println(line)
+		}
+	}
+
+	barrierQuiesce(coord, sites, "final barrier")
+	stats := coord.Stats()
+	plan.report(eng, ex, coord.ClassStats())
+	fmt.Printf("\ntotal: %d messages (%.4f/update), %d wire bytes over one shared runtime\n",
+		stats.Total(), perStep(stats.Total(), steps), stats.Bytes)
+	if err := coord.Err(); err != nil {
+		fatalf("transport error: %v", err)
+	}
+}
+
+func runQueriesAsync(st stream.Stream, k int, specs []query.Spec, every int64, model dist.NetModel, seed uint64) {
+	plan, initial := newQueryPlan(specs)
+	eng, siteAlgos, err := query.New(k, initial)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sim := dist.NewAsyncSim(eng, siteAlgos, model, seed)
+	sim.SetClassifier(eng)
+	fmt.Printf("multi-query async simulator: %d sites, %d queries, net %s\n", k, len(specs), model)
+
+	ex := newExactMonitor()
+	var steps int64
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		checkSite(u, k)
+		ex.apply(u)
+		steps++
+		sim.Step(u)
+		plan.due(steps, func(spec query.Spec) int {
+			var qid int
+			sim.Inject(func(out dist.Outbox) {
+				var aerr error
+				if qid, aerr = eng.Attach(spec, out); aerr != nil {
+					fatalf("attach: %v", aerr)
+				}
+			})
+			return qid
+		})
+		if u.T%every == 0 {
+			s := sim.Stats()
+			line := fmt.Sprintf("t=%-10d f=%-8d", u.T, ex.f)
+			for _, q := range eng.Status() {
+				line += fmt.Sprintf("  %s=%d", q.Name, q.Estimate)
+			}
+			line += fmt.Sprintf("  stale(avg/max)=%.1f/%d dropped=%d", s.AvgStaleness(), s.StalenessMax, s.Dropped)
+			fmt.Println(line)
+		}
+	}
+	sim.Flush()
+	stats := sim.Stats()
+	plan.report(eng, ex, sim.ClassStats())
+	fmt.Printf("\ntotal: %d messages (%.4f/update), %d wire bytes | virtual time=%d dropped=%d retransmitted=%d staleness avg=%.1f max=%d\n",
+		stats.Total(), perStep(stats.Total(), steps), stats.Bytes,
+		sim.Now(), stats.Dropped, stats.Retransmitted, stats.AvgStaleness(), stats.StalenessMax)
 }
 
 func perStep(total, steps int64) float64 {

@@ -17,6 +17,7 @@
 //	internal/dist       distributed monitoring runtime: sim + TCP transport
 //	internal/track      §3 trackers (partitioner, det, rand) and baselines
 //	internal/freq       appendix-H item-frequency tracking
+//	internal/query      multi-query engine: concurrent queries, one runtime
 //	internal/sketch     Count-Min and CR-precis substrates
 //	internal/markov     appendix-G chain machinery and Chernoff bounds
 //	internal/lowerbound §4 hard families, tracing summaries, Index reduction

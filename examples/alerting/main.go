@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"repro/internal/core"
@@ -23,8 +24,10 @@ func main() {
 		k   = 12
 		eps = 0.2
 		tau = 5000
-		n   = 300_000
 	)
+	nFlag := flag.Int64("n", 300_000, "events to drive")
+	flag.Parse()
+	n := *nFlag
 
 	// Load pattern: ramp up through τ, oscillate, drain — twice.
 	load := stream.NewConcat(

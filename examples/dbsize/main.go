@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"repro/internal/core"
@@ -23,9 +24,11 @@ func main() {
 	const (
 		k    = 4
 		eps  = 0.05
-		n    = 500_000
 		beta = 2.0
 	)
+	nFlag := flag.Int64("n", 500_000, "updates to drive")
+	flag.Parse()
+	n := *nFlag
 
 	// The workload: inserts with occasional deletes, f−(n) ≈ β·f(n).
 	st := stream.NewAssign(stream.NearlyMonotone(n, beta, 3), stream.NewRoundRobin(k))

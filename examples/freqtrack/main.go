@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"sort"
 
@@ -19,10 +20,12 @@ func main() {
 	const (
 		k        = 6
 		eps      = 0.05
-		n        = 200_000
 		universe = 10_000
 		phi      = 0.05 // heavy-hitter threshold
 	)
+	nFlag := flag.Int64("n", 200_000, "updates to drive")
+	flag.Parse()
+	n := *nFlag
 
 	// Exact backend: per-item counters, deterministic guarantee, and
 	// direct heavy-hitter enumeration.

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"repro/internal/core"
@@ -24,12 +25,16 @@ const (
 	eps = 0.1
 )
 
+// phase is the length of each of the day's three traffic phases, set from
+// the -n flag in main.
+var phase int64 = 40_000
+
 // trafficDay builds the three-phase stream: each phase is a ±1 walk with a
 // different drift.
 func trafficDay(seed uint64) stream.Stream {
-	morning := stream.BiasedWalk(40_000, 0.6, seed)     // targets arrive
-	midday := stream.RandomWalk(40_000, seed+1)         // churn around a plateau
-	evening := stream.BiasedWalk(40_000, -0.55, seed+2) // targets leave
+	morning := stream.BiasedWalk(phase, 0.6, seed)     // targets arrive
+	midday := stream.RandomWalk(phase, seed+1)         // churn around a plateau
+	evening := stream.BiasedWalk(phase, -0.55, seed+2) // targets leave
 	return stream.NewConcat(morning, midday, evening)
 }
 
@@ -58,6 +63,11 @@ func runTracker(name string, build func() (dist.CoordAlgo, []dist.SiteAlgo)) {
 }
 
 func main() {
+	n := flag.Int64("n", 120_000, "target events over the day (split across three phases)")
+	flag.Parse()
+	if p := *n / 3; p > 0 {
+		phase = p
+	}
 	// Measure the day's variability first: it is what the paper says the
 	// cost must scale with.
 	exact := core.NewTracker(0)
@@ -72,7 +82,7 @@ func main() {
 	fmt.Printf("sensor field: k=%d sensors, ε=%v, %d target events over the day\n",
 		k, eps, exact.N())
 	fmt.Printf("peak count ~%d, final count %d, day variability v = %.1f\n\n",
-		40_000*6/10, exact.F(), exact.V())
+		phase*6/10, exact.F(), exact.V())
 
 	fmt.Println("radio budget by algorithm:")
 	runTracker("determin.", func() (dist.CoordAlgo, []dist.SiteAlgo) {

@@ -44,6 +44,16 @@ type AsyncSim struct {
 	seq   uint64
 	heap  eventHeap
 
+	// classifier, when non-nil, attributes deliveries AND drops,
+	// retransmissions, and staleness to per-class counters, so the
+	// per-class Stats sum exactly to the aggregate even under faults.
+	// classScratch keeps the classifier's *Msg argument off the event —
+	// an interface call would otherwise make every processed event escape
+	// to the heap (see Sim.classify).
+	classifier   Classifier
+	classStats   []Stats
+	classScratch Msg
+
 	// linkAt[i] is the latest delivery time scheduled on link i (site i →
 	// coordinator for i < k, coordinator → site i−k otherwise): the FIFO
 	// floor new deliveries may undercut by at most model.Reorder.
@@ -218,6 +228,26 @@ func (s *AsyncSim) Estimate() int64 { return s.coord.Estimate() }
 // Stats returns the communication counters so far.
 func (s *AsyncSim) Stats() Stats { return s.stats }
 
+// SetClassifier installs a per-class Stats attribution (see Classifier).
+// Install it before driving updates so no message goes unattributed.
+func (s *AsyncSim) SetClassifier(c Classifier) { s.classifier = c }
+
+// ClassStats returns a snapshot of the per-class counters, indexed by
+// class. Nil when no classifier is installed.
+func (s *AsyncSim) ClassStats() []Stats { return copyStats(s.classStats) }
+
+// Inject runs fn with the coordinator's outbox at the current virtual time
+// and then processes everything due at that tick — the hook for
+// coordinator-initiated control traffic (e.g. attaching a tracking query
+// mid-stream). Messages fn emits travel through the modeled network like
+// any others: they can be delayed, dropped, and retransmitted.
+func (s *AsyncSim) Inject(fn func(Outbox)) {
+	fn(s.coordOut)
+	for s.heap.len() > 0 && s.heap.ev[0].at <= s.now {
+		s.process(s.heap.pop())
+	}
+}
+
 // Now returns the current virtual time in ticks.
 func (s *AsyncSim) Now() int64 { return s.now }
 
@@ -322,9 +352,15 @@ func (s *AsyncSim) process(e event) {
 	if lost {
 		if e.attempt <= s.model.Retrans {
 			s.stats.Retransmitted++
+			if s.classifier != nil {
+				s.classSlotOf(&e).Retransmitted++
+			}
 			s.transmit(e, s.now+s.model.rto())
 		} else {
 			s.stats.Dropped++
+			if s.classifier != nil {
+				s.classSlotOf(&e).Dropped++
+			}
 		}
 		return
 	}
@@ -335,6 +371,14 @@ func (s *AsyncSim) process(e event) {
 		s.stats.StalenessMax = lag
 	}
 	s.stats.add(&e.msg, e.to)
+	if s.classifier != nil {
+		cs := s.classSlotOf(&e)
+		cs.StalenessSum += lag
+		if lag > cs.StalenessMax {
+			cs.StalenessMax = lag
+		}
+		cs.add(&s.classScratch, e.to)
+	}
 	if s.Recorder != nil {
 		s.Recorder(TranscriptEntry{T: s.curT, To: e.to, Msg: e.msg})
 	}
@@ -343,6 +387,14 @@ func (s *AsyncSim) process(e event) {
 	} else {
 		s.sites[e.to].OnMessage(e.msg, s.siteOut[e.to])
 	}
+}
+
+// classSlotOf returns the per-class slot for e's message, routing the
+// classifier call through the scratch copy so e never escapes. After the
+// call classScratch holds e's message.
+func (s *AsyncSim) classSlotOf(e *event) *Stats {
+	s.classScratch = e.msg
+	return classSlot(&s.classStats, s.classifier.Class(&s.classScratch))
 }
 
 // asyncOutbox routes messages for node `from` through the modeled network.

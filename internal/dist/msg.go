@@ -36,6 +36,17 @@ const (
 	// KindStateReply answers a state request: A is the site's pending
 	// update count, B its net change in f since the block broadcast.
 	KindStateReply
+	// KindAttach announces a newly registered tracking query to every site
+	// (multi-query engine, internal/query): the query id rides in the
+	// message's routing tag. A site receiving it instantiates the query's
+	// child algorithm and bootstraps the coordinator with its local
+	// history. The message is idempotent: re-announcing an attached query
+	// is a no-op, so rejoin resync can always re-send it.
+	KindAttach
+	// KindDetach retires a query at every site; its counterpart of
+	// KindAttach. Messages for a detached query still in flight are
+	// discarded by the demultiplexer on either side.
+	KindDetach
 )
 
 // Transport-internal kinds. Frames with these kinds never reach algorithms

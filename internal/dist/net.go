@@ -130,11 +130,14 @@ type Coordinator struct {
 	k    int
 	algo CoordAlgo
 
-	mu     sync.Mutex
-	conns  []*connWriter
-	stats  Stats
-	err    error
-	closed bool
+	mu           sync.Mutex
+	conns        []*connWriter
+	stats        Stats
+	classifier   Classifier
+	classStats   []Stats
+	classScratch Msg // see Sim.classify; guarded by mu like the tables
+	err          error
+	closed       bool
 
 	wg sync.WaitGroup
 }
@@ -228,6 +231,9 @@ func (c *Coordinator) serve(conn net.Conn) {
 		default:
 			c.mu.Lock()
 			c.stats.add(&m, CoordID)
+			if c.classifier != nil {
+				c.classify(&m, CoordID)
+			}
 			c.algo.OnMessage(m, coordOutbox{c})
 			c.mu.Unlock()
 		}
@@ -261,6 +267,17 @@ func (c *Coordinator) writeLocked(site int, m Msg) {
 	}
 	c.conns[site].enqueue(m)
 	c.stats.add(&m, int32(site))
+	if c.classifier != nil {
+		c.classify(&m, int32(site))
+	}
+}
+
+// classify accounts one message in its class's counters; callers hold
+// c.mu. The scratch copy keeps the classifier's pointer argument off the
+// caller's message (see Sim.classify).
+func (c *Coordinator) classify(m *Msg, to int32) {
+	c.classScratch = *m
+	classSlot(&c.classStats, c.classifier.Class(&c.classScratch)).add(&c.classScratch, to)
 }
 
 // coordOutbox emits coordinator messages; methods run with c.mu held,
@@ -292,6 +309,33 @@ func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// SetClassifier installs a per-class Stats attribution (see Classifier)
+// covering both directions of the coordinator's traffic. Install it before
+// sites start sending so no message goes unattributed.
+func (c *Coordinator) SetClassifier(cl Classifier) {
+	c.mu.Lock()
+	c.classifier = cl
+	c.mu.Unlock()
+}
+
+// ClassStats returns a snapshot of the per-class counters, indexed by
+// class. Nil when no classifier is installed.
+func (c *Coordinator) ClassStats() []Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return copyStats(c.classStats)
+}
+
+// Inject runs fn with the coordinator's outbox while holding the
+// coordinator lock — the hook for coordinator-initiated control traffic
+// (e.g. attaching a tracking query mid-stream) and for consistent reads of
+// the coordinator algorithm's state. fn must not block on the network.
+func (c *Coordinator) Inject(fn func(Outbox)) {
+	c.mu.Lock()
+	fn(coordOutbox{c})
+	c.mu.Unlock()
 }
 
 // Err returns the first transport error, if any.

@@ -32,6 +32,16 @@ type Sim struct {
 	t     int64
 	queue msgRing
 
+	// classifier, when non-nil, attributes every delivered message to a
+	// class (classStats[Class(m)]) in addition to the aggregate stats.
+	// classScratch is the Sim-owned message copy handed to the classifier:
+	// an interface call must be assumed to retain its pointer argument, so
+	// passing the caller-owned envelope would force it to escape and cost
+	// the drain loop one heap allocation per delivered message.
+	classifier   Classifier
+	classStats   []Stats
+	classScratch Msg
+
 	// batchSites[i] is sites[i] if it implements BatchSiteAlgo, else nil.
 	// The type assertion is paid once in NewSim, not per StepBatch run.
 	batchSites []BatchSiteAlgo
@@ -234,12 +244,40 @@ func (s *Sim) Estimate() int64 { return s.coord.Estimate() }
 // Stats returns the communication counters so far.
 func (s *Sim) Stats() Stats { return s.stats }
 
+// SetClassifier installs a per-class Stats attribution (see Classifier).
+// Install it before driving updates so no message goes unattributed.
+func (s *Sim) SetClassifier(c Classifier) { s.classifier = c }
+
+// ClassStats returns a snapshot of the per-class counters, indexed by
+// class. Nil when no classifier is installed.
+func (s *Sim) ClassStats() []Stats { return copyStats(s.classStats) }
+
+// Inject runs fn with the coordinator's outbox and then drains the
+// triggered messages to quiescence — the hook for coordinator-initiated
+// control traffic (e.g. attaching a tracking query mid-stream) that no
+// inbound message triggers. Call it only between Steps.
+func (s *Sim) Inject(fn func(Outbox)) {
+	fn(s.coordOut)
+	s.drain()
+}
+
+// classify accounts one delivery in its class's counters, out of
+// deliver's body (and through classScratch) so the classifier call cannot
+// make the envelope escape.
+func (s *Sim) classify(e *envelope) {
+	s.classScratch = e.msg
+	classSlot(&s.classStats, s.classifier.Class(&s.classScratch)).add(&s.classScratch, e.to)
+}
+
 // deliver accounts, records, and dispatches one message. Handlers may
 // enqueue further messages; the drain loop delivers them in FIFO order.
 // The envelope is taken by pointer (to a caller-owned copy, never into the
 // ring — a handler's send may grow the ring mid-delivery).
 func (s *Sim) deliver(e *envelope) {
 	s.stats.add(&e.msg, e.to)
+	if s.classifier != nil {
+		s.classify(e)
+	}
 	if s.Recorder != nil {
 		s.Recorder(TranscriptEntry{T: s.t, To: e.to, Msg: e.msg})
 	}

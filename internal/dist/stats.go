@@ -50,6 +50,42 @@ func (s Stats) AvgStaleness() float64 {
 	return 0
 }
 
+// Classifier maps a message to a small nonnegative class index for
+// per-class Stats attribution — in practice the query id of a multiplexed
+// tracking query (internal/query). A runtime with a classifier installed
+// keeps one Stats per class next to the aggregate: every delivered message
+// is accounted in exactly one class, and on fault-injecting runtimes so are
+// drops, retransmissions, and staleness, so the per-class counters sum
+// exactly to the aggregate (StalenessMax sums as a maximum).
+//
+// Class must be a pure function of the message and must not retain m.
+type Classifier interface {
+	Class(m *Msg) int
+}
+
+// classSlot returns the Stats slot for class idx, growing the table as
+// needed. Negative indices (a classifier seeing a message it cannot place)
+// share slot 0 rather than corrupting memory.
+func classSlot(table *[]Stats, idx int) *Stats {
+	if idx < 0 {
+		idx = 0
+	}
+	for len(*table) <= idx {
+		*table = append(*table, Stats{})
+	}
+	return &(*table)[idx]
+}
+
+// copyStats snapshots a per-class table for a caller.
+func copyStats(table []Stats) []Stats {
+	if table == nil {
+		return nil
+	}
+	out := make([]Stats, len(table))
+	copy(out, table)
+	return out
+}
+
 // add accounts one message delivered to `to` (CoordID or a site index).
 // The message is taken by pointer: add runs once per delivery and a by-
 // value Msg would cost a 32-byte copy per call.

@@ -262,3 +262,30 @@ func TestE24AllOk(t *testing.T) {
 		}
 	}
 }
+
+func TestE28MuxMatchesSeparate(t *testing.T) {
+	tbl := E28MuxAmortization(quickCfg())
+	for _, row := range tbl.Rows {
+		if row[1] != row[2] || row[3] != row[4] {
+			t.Fatalf("mux and separate deployments diverged in row %v", row)
+		}
+		if row[len(row)-1] != "true" {
+			t.Fatalf("per-query attribution inexact in row %v", row)
+		}
+	}
+}
+
+func TestE29AttachConverges(t *testing.T) {
+	tbl := E29DynamicAttach(quickCfg())
+	for _, row := range tbl.Rows {
+		if row[0] == "zero" && row[2] != "1" {
+			t.Fatalf("zero-net attach not immediately exact in row %v", row)
+		}
+		if row[2] == "never" {
+			t.Fatalf("attach never converged in row %v", row)
+		}
+		if row[len(row)-1] != "true" {
+			t.Fatalf("final estimate out of band in row %v", row)
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Package expt is the experiment harness: one function per experiment in
-// DESIGN.md's index (E01–E27), each returning a Table of paper-vs-measured
+// DESIGN.md's index (E01–E29), each returning a Table of paper-vs-measured
 // values. The cmd/varbench CLI renders them; bench_test.go at the module
 // root wraps each one in a testing.B benchmark; EXPERIMENTS.md records a
 // full run.
@@ -175,6 +175,8 @@ func All() []Experiment {
 		{"E25", "async runtime: staleness vs latency", E25AsyncStaleness},
 		{"E26", "async runtime: violations vs drop probability", E26AsyncDrops},
 		{"E27", "async runtime: churn recovery", E27AsyncChurn},
+		{"E28", "multi-query engine: mux amortization", E28MuxAmortization},
+		{"E29", "multi-query engine: dynamic attach convergence", E29DynamicAttach},
 	}
 }
 

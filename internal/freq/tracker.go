@@ -134,6 +134,48 @@ func (s *freqSite) OnUpdateBatch(us []stream.Update, out dist.Outbox) int {
 // space quantity appendix H.0.2 is about.
 func (s *freqSite) LiveCells() int { return len(s.cells) }
 
+// BootstrapAttach implements track.InBlockBootstrapper for mid-stream
+// attach (internal/query): the site's net per-item history is folded
+// through the mapper into counter cells, established at the coordinator
+// with the same absolute KindFreqEnd reports a block boundary uses (the
+// coordinator side is freshly built, so the additive merge lands on zeros),
+// and the F1 drift estimator adopts the net mass as block-0 drift. Reports
+// go out in sorted cell order so transcripts are deterministic.
+func (s *freqSite) BootstrapAttach(st track.AttachState, out dist.Outbox) {
+	s.f1Drift = st.Net()
+	s.f1Delta = 0
+	if s.f1Drift != 0 {
+		out.Send(dist.Msg{Kind: dist.KindDriftReport, Site: s.id, A: s.f1Drift})
+	}
+	for item, v := range st.Items {
+		if v == 0 {
+			continue
+		}
+		s.cellBuf = s.mapper.CellsInto(s.cellBuf, item)
+		for _, c := range s.cellBuf {
+			cs := s.cells[c]
+			if cs == nil {
+				cs = &cellState{}
+				s.cells[c] = cs
+			}
+			cs.count += v
+		}
+	}
+	s.heavyKeys = s.heavyKeys[:0]
+	for c, cs := range s.cells {
+		if cs.count == 0 {
+			delete(s.cells, c)
+			continue
+		}
+		cs.mirror = cs.count
+		s.heavyKeys = append(s.heavyKeys, c)
+	}
+	slices.Sort(s.heavyKeys)
+	for _, c := range s.heavyKeys {
+		out.Send(dist.Msg{Kind: dist.KindFreqEnd, Site: s.id, Item: c, A: s.cells[c].count})
+	}
+}
+
 // freqCoord is the in-block coordinator estimator: a merged counter table
 // (Σ over sites) plus the deterministic F1 drift estimator. The per-site
 // F1 drifts are a dense slice — k is fixed at construction and site ids

@@ -1,0 +1,499 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/freq"
+	"repro/internal/stream"
+	"repro/internal/track"
+)
+
+// Tag rewrites m's routing field to carry query id qid in an engine over k
+// sites: site i becomes virtual node qid·k+i, the coordinator becomes
+// −(1+qid). Query 0 is tagged identically to a standalone deployment,
+// which is what makes the Q = 1 anchor property hold byte for byte.
+func Tag(m dist.Msg, qid, k int) dist.Msg {
+	if m.Site == dist.CoordID {
+		m.Site = int32(-(1 + qid))
+	} else {
+		m.Site = int32(qid*k + int(m.Site))
+	}
+	return m
+}
+
+// Demux inverts Tag: it returns the query id and the message with its
+// original routing field restored.
+func Demux(m dist.Msg, k int) (qid int, inner dist.Msg) {
+	if m.Site < 0 {
+		qid = int(-m.Site) - 1
+		m.Site = dist.CoordID
+		return qid, m
+	}
+	qid = int(m.Site) / k
+	m.Site = int32(int(m.Site) % k)
+	return qid, m
+}
+
+// attachMsg is the (already tagged) announcement broadcast for query qid.
+func attachMsg(qid int) dist.Msg {
+	return dist.Msg{Kind: dist.KindAttach, Site: int32(-(1 + qid))}
+}
+
+// tagOutbox wraps a runtime outbox, tagging every emitted message with one
+// query id. The wrapper lives as long as its child (so dispatch never
+// allocates one); the inner outbox is re-pointed per dispatch, since the
+// runtime owns it and hands it to every call.
+type tagOutbox struct {
+	inner dist.Outbox
+	qid   int
+	k     int
+}
+
+func (o *tagOutbox) reset(inner dist.Outbox) { o.inner = inner }
+
+// Send implements dist.Outbox.
+func (o *tagOutbox) Send(m dist.Msg) { o.inner.Send(Tag(m, o.qid, o.k)) }
+
+// SendTo implements dist.Outbox.
+func (o *tagOutbox) SendTo(site int, m dist.Msg) { o.inner.SendTo(site, Tag(m, o.qid, o.k)) }
+
+// Broadcast implements dist.Outbox.
+func (o *tagOutbox) Broadcast(m dist.Msg) { o.inner.Broadcast(Tag(m, o.qid, o.k)) }
+
+// queryState is one registered query in the shared Engine registry: its
+// spec and the child algorithm pair, built once by the ordinary tracker
+// constructors and handed out to the coordinator and site halves.
+type queryState struct {
+	spec  Spec
+	coord dist.CoordAlgo
+	sites []dist.SiteAlgo
+
+	// freqT/thresh are non-nil for the respective families, exposing the
+	// per-item and threshold query surfaces through Coord.
+	freqT  *freq.Tracker
+	thresh *track.ThresholdMonitor
+
+	// coordOut is the coordinator-side tag outbox (site-side children each
+	// own their own); detached freezes the query at the coordinator.
+	coordOut tagOutbox
+	detached bool
+}
+
+// buildQuery constructs the child pair for a spec.
+func buildQuery(k int, spec Spec) (*queryState, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	q := &queryState{spec: spec}
+	switch spec.Algo {
+	case "det":
+		q.coord, q.sites = track.NewDeterministic(k, spec.Eps)
+	case "rand":
+		q.coord, q.sites = track.NewRandomized(k, spec.Eps, spec.Seed)
+	case "freq":
+		q.freqT, q.sites = freq.New(k, spec.Eps, freq.ExactMapper{})
+		q.coord = q.freqT
+	case "threshold":
+		q.thresh, q.sites = track.NewThresholdMonitor(k, spec.Eps, spec.Tau)
+		q.coord = q.thresh
+	}
+	return q, nil
+}
+
+// Engine is the registry shared by the coordinator and site halves: the
+// query table and the topology size. Registration happens on the
+// coordinator side (control plane); sites look the specs up when the
+// KindAttach announcement reaches them (data plane carries only the qid).
+type Engine struct {
+	k int
+
+	mu      sync.Mutex
+	queries []*queryState
+}
+
+// get returns the query with id qid, or nil.
+func (e *Engine) get(qid int) *queryState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if qid < 0 || qid >= len(e.queries) {
+		return nil
+	}
+	return e.queries[qid]
+}
+
+// register appends q and returns its query id.
+func (e *Engine) register(q *queryState) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	qid := len(e.queries)
+	q.coordOut = tagOutbox{qid: qid, k: e.k}
+	e.queries = append(e.queries, q)
+	return qid
+}
+
+// snapshot returns the current query table (the slice is append-only, so
+// the snapshot stays valid).
+func (e *Engine) snapshot() []*queryState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.queries
+}
+
+// New builds a multi-query engine over k sites with the given initial
+// queries attached from update 0 (silently — a query present from the
+// start has no history to bootstrap, so with one initial query the wire
+// traffic is byte-identical to a standalone deployment). It returns the
+// coordinator half and the k site halves; more queries can attach later
+// through Coord.Attach.
+func New(k int, specs []Spec) (*Coord, []dist.SiteAlgo, error) {
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("query: New needs k > 0")
+	}
+	eng := &Engine{k: k}
+	coord := &Coord{eng: eng}
+	sites := make([]*Site, k)
+	for i := range sites {
+		sites[i] = &Site{eng: eng, id: i, items: make(map[uint64]int64)}
+	}
+	for _, spec := range specs {
+		q, err := buildQuery(k, spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		qid := eng.register(q)
+		for _, s := range sites {
+			s.preattach(qid, q)
+		}
+	}
+	out := make([]dist.SiteAlgo, k)
+	for i, s := range sites {
+		out[i] = s
+	}
+	return coord, out, nil
+}
+
+// Coord is the coordinator half of the engine. It implements
+// dist.CoordAlgo (Estimate returns query 0's estimate, preserving the
+// standalone contract at Q = 1), dist.CoordRejoiner (re-announcing queries
+// and forwarding resync to the children), and dist.Classifier (per-query
+// Stats attribution — install it on the runtime with SetClassifier).
+type Coord struct {
+	eng *Engine
+}
+
+// OnMessage implements dist.CoordAlgo: demultiplex and dispatch to the
+// owning child. Messages for unknown or detached queries (in flight across
+// a detach, or corrupted) are discarded.
+func (c *Coord) OnMessage(m dist.Msg, out dist.Outbox) {
+	qid, inner := Demux(m, c.eng.k)
+	q := c.eng.get(qid)
+	if q == nil || q.detached {
+		return
+	}
+	q.coordOut.reset(out)
+	q.coord.OnMessage(inner, &q.coordOut)
+}
+
+// Estimate implements dist.CoordAlgo: the estimate of query 0.
+func (c *Coord) Estimate() int64 {
+	if q := c.eng.get(0); q != nil {
+		return q.coord.Estimate()
+	}
+	return 0
+}
+
+// OnSiteRejoin implements dist.CoordRejoiner: re-announce every live query
+// (idempotent — the site ignores announcements for queries it already
+// runs, and a site that missed the original attach builds and bootstraps
+// the child now) and forward the resync to each child coordinator.
+func (c *Coord) OnSiteRejoin(site int, out dist.Outbox) {
+	for qid, q := range c.eng.snapshot() {
+		if q.detached {
+			continue
+		}
+		out.SendTo(site, attachMsg(qid))
+		if r, ok := q.coord.(dist.CoordRejoiner); ok {
+			q.coordOut.reset(out)
+			r.OnSiteRejoin(site, &q.coordOut)
+		}
+	}
+}
+
+// Class implements dist.Classifier: the query id a message is tagged with,
+// making the runtime's per-class Stats the engine's per-query cost split.
+func (c *Coord) Class(m *dist.Msg) int {
+	if m.Site < 0 {
+		return int(-m.Site) - 1
+	}
+	return int(m.Site) / c.eng.k
+}
+
+// Attach registers a new query mid-stream and broadcasts its announcement.
+// Run it through the runtime's Inject hook so the broadcast enters the
+// network at a defined point; sites bootstrap the query's state when the
+// announcement reaches them. It returns the new query id.
+func (c *Coord) Attach(spec Spec, out dist.Outbox) (int, error) {
+	q, err := buildQuery(c.eng.k, spec)
+	if err != nil {
+		return 0, err
+	}
+	qid := c.eng.register(q)
+	out.Broadcast(attachMsg(qid))
+	return qid, nil
+}
+
+// Detach retires a query: its estimate freezes at the coordinator, sites
+// drop their children when the broadcast reaches them, and messages still
+// in flight are discarded on arrival. The query id stays allocated so
+// per-query stats remain addressable.
+func (c *Coord) Detach(qid int, out dist.Outbox) error {
+	q := c.eng.get(qid)
+	if q == nil {
+		return fmt.Errorf("query: Detach: no query %d", qid)
+	}
+	if q.detached {
+		return nil
+	}
+	q.detached = true
+	out.Broadcast(dist.Msg{Kind: dist.KindDetach, Site: int32(-(1 + qid))})
+	return nil
+}
+
+// NumQueries returns the number of registered queries (attached or
+// detached); query ids are 0..NumQueries()-1.
+func (c *Coord) NumQueries() int { return len(c.eng.snapshot()) }
+
+// EstimateQuery returns query qid's current estimate (the F1 estimate for
+// a frequency query) and whether the id exists.
+func (c *Coord) EstimateQuery(qid int) (int64, bool) {
+	q := c.eng.get(qid)
+	if q == nil {
+		return 0, false
+	}
+	return q.coord.Estimate(), true
+}
+
+// Frequency answers a per-item query against a frequency query's merged
+// counters; ok is false when qid does not name a frequency query.
+func (c *Coord) Frequency(qid int, item uint64) (int64, bool) {
+	q := c.eng.get(qid)
+	if q == nil || q.freqT == nil {
+		return 0, false
+	}
+	return q.freqT.Frequency(item), true
+}
+
+// ThresholdState answers a threshold query; ok is false when qid does not
+// name one.
+func (c *Coord) ThresholdState(qid int) (track.ThresholdState, bool) {
+	q := c.eng.get(qid)
+	if q == nil || q.thresh == nil {
+		return 0, false
+	}
+	return q.thresh.State(), true
+}
+
+// Status is one query's row in a live status report.
+type Status struct {
+	ID       int     `json:"id"`
+	Name     string  `json:"name"`
+	Algo     string  `json:"algo"`
+	Eps      float64 `json:"eps"`
+	Filter   string  `json:"filter,omitempty"`
+	Detached bool    `json:"detached,omitempty"`
+	Estimate int64   `json:"estimate"`
+	// State is the threshold verdict ("above"/"below"), empty otherwise.
+	State string `json:"state,omitempty"`
+}
+
+// Status reports every registered query. Call it at a quiescent point (or
+// through the runtime's Inject hook on the TCP transport) so the estimates
+// are consistent.
+func (c *Coord) Status() []Status {
+	qs := c.eng.snapshot()
+	out := make([]Status, len(qs))
+	for qid, q := range qs {
+		st := Status{
+			ID:       qid,
+			Name:     q.spec.Label(qid),
+			Algo:     q.spec.Algo,
+			Eps:      q.spec.Eps,
+			Detached: q.detached,
+			Estimate: q.coord.Estimate(),
+		}
+		if q.spec.Filter != nil {
+			st.Filter = q.spec.Filter.Name
+		}
+		if q.thresh != nil {
+			st.State = q.thresh.State().String()
+		}
+		out[qid] = st
+	}
+	return out
+}
+
+// siteChild is one attached query at one site.
+type siteChild struct {
+	algo   dist.SiteAlgo
+	filter func(uint64) bool
+	out    tagOutbox
+}
+
+// Site is the site half of the engine at one site. It implements
+// dist.SiteAlgo (fanning updates out to the attached children and
+// demultiplexing coordinator messages) and dist.SiteRejoiner. Alongside the
+// children it maintains the spine — update count, ± delta mass, and net
+// per-item counts — which is what lets a query attaching mid-stream
+// bootstrap the history it never saw.
+type Site struct {
+	eng *Engine
+	id  int
+
+	// children is indexed by query id; nil entries are unattached or
+	// detached queries.
+	children []*siteChild
+
+	// The spine: everything a future attach might need to reconstruct.
+	updates     int64
+	plus, minus int64
+	items       map[uint64]int64
+}
+
+// preattach installs a child for an initial query, silently: no history
+// exists yet, so no bootstrap traffic — which keeps the Q = 1 engine
+// byte-identical to a standalone deployment.
+func (s *Site) preattach(qid int, q *queryState) {
+	for len(s.children) <= qid {
+		s.children = append(s.children, nil)
+	}
+	ch := &siteChild{algo: q.sites[s.id], out: tagOutbox{qid: qid, k: s.eng.k}}
+	if q.spec.Filter != nil {
+		ch.filter = q.spec.Filter.Match
+	}
+	s.children[qid] = ch
+}
+
+// OnUpdate implements dist.SiteAlgo: maintain the spine, then fan the
+// update out to every attached child whose filter accepts it.
+func (s *Site) OnUpdate(u stream.Update, out dist.Outbox) {
+	s.updates++
+	if u.Delta >= 0 {
+		s.plus += u.Delta
+	} else {
+		s.minus -= u.Delta
+	}
+	if n := s.items[u.Item] + u.Delta; n == 0 {
+		delete(s.items, u.Item)
+	} else {
+		s.items[u.Item] = n
+	}
+	for _, ch := range s.children {
+		if ch == nil || (ch.filter != nil && !ch.filter(u.Item)) {
+			continue
+		}
+		ch.out.reset(out)
+		ch.algo.OnUpdate(u, &ch.out)
+	}
+}
+
+// OnMessage implements dist.SiteAlgo: demultiplex; handle the attach and
+// detach control announcements; dispatch everything else to the owning
+// child. Messages for queries this site does not run (an attach lost on a
+// faulty runtime and not yet resent) are discarded.
+func (s *Site) OnMessage(m dist.Msg, out dist.Outbox) {
+	qid, inner := Demux(m, s.eng.k)
+	switch inner.Kind {
+	case dist.KindAttach:
+		s.attach(qid, out)
+		return
+	case dist.KindDetach:
+		if qid >= 0 && qid < len(s.children) {
+			s.children[qid] = nil
+		}
+		return
+	}
+	if qid < 0 || qid >= len(s.children) || s.children[qid] == nil {
+		return
+	}
+	ch := s.children[qid]
+	ch.out.reset(out)
+	ch.algo.OnMessage(inner, &ch.out)
+}
+
+// OnRejoin implements dist.SiteRejoiner by fanning out to the children.
+func (s *Site) OnRejoin(out dist.Outbox) {
+	for _, ch := range s.children {
+		if ch == nil {
+			continue
+		}
+		if r, ok := ch.algo.(dist.SiteRejoiner); ok {
+			ch.out.reset(out)
+			r.OnRejoin(&ch.out)
+		}
+	}
+}
+
+// attach handles a KindAttach announcement: build the child from the
+// shared registry and push the site's pre-attach history through the
+// bootstrap resync machinery. Re-announcements (rejoin resync) are no-ops.
+func (s *Site) attach(qid int, out dist.Outbox) {
+	if qid < 0 {
+		return
+	}
+	for len(s.children) <= qid {
+		s.children = append(s.children, nil)
+	}
+	if s.children[qid] != nil {
+		return
+	}
+	q := s.eng.get(qid)
+	if q == nil {
+		return
+	}
+	s.preattach(qid, q)
+	if s.updates == 0 {
+		return
+	}
+	ch := s.children[qid]
+	if b, ok := ch.algo.(track.AttachBootstrapper); ok {
+		ch.out.reset(out)
+		b.BootstrapAttach(s.history(q.spec.Filter), &ch.out)
+	}
+}
+
+// history snapshots the spine as a track.AttachState. An unfiltered query
+// gets the exact history — including the live items table, which the
+// bootstrapper contract forbids retaining past the call; a filtered one
+// gets the best reconstruction the net per-item counts allow (the ± split
+// and update count are lower bounds under cancellation — the first block
+// collection after bootstrap makes the boundary exact regardless, see
+// track/attach.go).
+func (s *Site) history(f *Filter) track.AttachState {
+	if f == nil {
+		return track.AttachState{Updates: s.updates, Plus: s.plus, Minus: s.minus, Items: s.items}
+	}
+	st := track.AttachState{}
+	for item, v := range s.items {
+		if !f.Match(item) {
+			continue
+		}
+		if st.Items == nil {
+			st.Items = make(map[uint64]int64)
+		}
+		st.Items[item] = v
+		if v > 0 {
+			st.Plus += v
+			st.Updates += v
+		} else {
+			st.Minus -= v
+			st.Updates -= v
+		}
+	}
+	return st
+}
+
+// Spine returns the site's spine counters (updates ingested, net mass) for
+// diagnostics.
+func (s *Site) Spine() (updates, net int64) { return s.updates, s.plus - s.minus }

@@ -71,6 +71,15 @@ func (m *ThresholdMonitor) OnMessage(msg dist.Msg, out dist.Outbox) {
 // Estimate implements dist.CoordAlgo by delegation.
 func (m *ThresholdMonitor) Estimate() int64 { return m.coord.Estimate() }
 
+// OnSiteRejoin implements dist.CoordRejoiner by delegation, so a monitor
+// deployed on a fault-injecting runtime heals partitions exactly as the
+// tracker it wraps does.
+func (m *ThresholdMonitor) OnSiteRejoin(site int, out dist.Outbox) {
+	if r, ok := m.coord.(dist.CoordRejoiner); ok {
+		r.OnSiteRejoin(site, out)
+	}
+}
+
 // State answers the thresholded query.
 func (m *ThresholdMonitor) State() ThresholdState {
 	if float64(m.coord.Estimate()) >= m.trigger {
