@@ -61,6 +61,7 @@ func BenchmarkE26AsyncDrops(b *testing.B)          { benchExperiment(b, "E26") }
 func BenchmarkE27AsyncChurn(b *testing.B)          { benchExperiment(b, "E27") }
 func BenchmarkE28MuxAmortization(b *testing.B)     { benchExperiment(b, "E28") }
 func BenchmarkE29DynamicAttach(b *testing.B)       { benchExperiment(b, "E29") }
+func BenchmarkE30EngineBatch(b *testing.B)         { benchExperiment(b, "E30") }
 
 // benchTrackerThroughput measures end-to-end simulator throughput
 // (updates/sec) for a tracker on a generated stream — the systems-facing

@@ -62,7 +62,22 @@ type AsyncSim struct {
 
 	coordOut *asyncOutbox
 	siteOut  []*asyncOutbox
+
+	// batchSites[i] is sites[i]'s batch fast path, or nil; resolved once
+	// here so StepBatch pays no type assertions. capture buffers a batched
+	// feed's sends for replay at the consuming update's arrival tick.
+	batchSites []BatchSiteAlgo
+	capture    batchCapture
 }
+
+// batchCapture buffers messages a site emits during a batched feed. On the
+// site side of the runtime Send, SendTo, and Broadcast all route to the
+// coordinator, so only the message needs keeping.
+type batchCapture struct{ msgs []Msg }
+
+func (c *batchCapture) Send(m Msg)          { c.msgs = append(c.msgs, m) }
+func (c *batchCapture) SendTo(_ int, m Msg) { c.msgs = append(c.msgs, m) }
+func (c *batchCapture) Broadcast(m Msg)     { c.msgs = append(c.msgs, m) }
 
 // eventKind discriminates scheduler events.
 type eventKind uint8
@@ -104,40 +119,52 @@ func (h *eventHeap) less(i, j int) bool {
 	return h.ev[i].seq < h.ev[j].seq
 }
 
-func (h *eventHeap) push(e event) {
-	h.ev = append(h.ev, e)
+// push and pop sift with a hole rather than pairwise swaps: an event is
+// large enough that every avoided copy is a duffcopy, so each level costs
+// one move and a register-held (at, seq) comparison instead of three
+// struct copies. Ordering is identical to the swap-based sift — seq is
+// unique, so the comparison is a strict total order.
+func (h *eventHeap) push(e *event) {
+	h.ev = append(h.ev, *e)
 	i := len(h.ev) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h.less(i, parent) {
+		p := &h.ev[parent]
+		if !(e.at < p.at || (e.at == p.at && e.seq < p.seq)) {
 			break
 		}
-		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		h.ev[i] = *p
 		i = parent
 	}
+	h.ev[i] = *e
 }
 
 func (h *eventHeap) pop() event {
 	top := h.ev[0]
 	n := len(h.ev) - 1
-	h.ev[0] = h.ev[n]
+	last := h.ev[n]
 	h.ev = h.ev[:n]
+	if n == 0 {
+		return top
+	}
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
-		min := i
-		if l < n && h.less(l, min) {
-			min = l
-		}
-		if r < n && h.less(r, min) {
-			min = r
-		}
-		if min == i {
+		if l >= n {
 			break
 		}
-		h.ev[i], h.ev[min] = h.ev[min], h.ev[i]
+		min := l
+		if r < n && h.less(r, l) {
+			min = r
+		}
+		m := &h.ev[min]
+		if !(m.at < last.at || (m.at == last.at && m.seq < last.seq)) {
+			break
+		}
+		h.ev[i] = *m
 		i = min
 	}
+	h.ev[i] = last
 	return top
 }
 
@@ -160,8 +187,12 @@ func NewAsyncSim(coord CoordAlgo, sites []SiteAlgo, model NetModel, seed uint64)
 	}
 	s.coordOut = &asyncOutbox{s: s, from: CoordID}
 	s.siteOut = make([]*asyncOutbox, len(sites))
+	s.batchSites = make([]BatchSiteAlgo, len(sites))
 	for i := range sites {
 		s.siteOut[i] = &asyncOutbox{s: s, from: int32(i)}
+		if b, ok := sites[i].(BatchSiteAlgo); ok {
+			s.batchSites[i] = b
+		}
 	}
 	return s
 }
@@ -179,7 +210,8 @@ func (s *AsyncSim) Step(u stream.Update) {
 	s.curT = u.T
 	s.sites[u.Site].OnUpdate(u, s.siteOut[u.Site])
 	for s.heap.len() > 0 && s.heap.ev[0].at <= s.now {
-		s.process(s.heap.pop())
+		e := s.heap.pop()
+		s.process(&e)
 	}
 }
 
@@ -198,6 +230,124 @@ func (s *AsyncSim) Run(st stream.Stream) int64 {
 	}
 }
 
+// stepOne is Step with activity reporting: it returns whether any event
+// was processed during the call (when false, no OnMessage ran, so
+// coordinator-derived state such as Estimate is unchanged).
+func (s *AsyncSim) stepOne(u stream.Update, arrival int64) bool {
+	active := false
+	for s.heap.len() > 0 && s.heap.ev[0].at < arrival {
+		e := s.heap.pop()
+		if e.at > s.now {
+			s.now = e.at
+		}
+		s.process(&e)
+		active = true
+	}
+	if arrival > s.now {
+		s.now = arrival
+	}
+	s.curT = u.T
+	s.sites[u.Site].OnUpdate(u, s.siteOut[u.Site])
+	for s.heap.len() > 0 && s.heap.ev[0].at <= s.now {
+		e := s.heap.pop()
+		s.process(&e)
+		active = true
+	}
+	return active
+}
+
+// StepBatch feeds a prefix of us (a stream slice with nondecreasing T) to
+// the sites and returns how many updates it consumed, plus whether any
+// event was processed during the call. Like Sim.StepBatch it is a sequence
+// of Steps, never a reordering: transcripts, Stats, and estimates are
+// byte-identical to a per-update Step loop, fault models included.
+//
+// Batching only engages over a same-site run whose arrivals stay ahead of
+// every pending event — an update arriving exactly on the next event's
+// tick may close the run (events at a tick fire after the update arriving
+// on it), and any event due before the head update falls back to a single
+// per-update step so node state changes land between the same two updates
+// they would have. Sends emitted inside a batched feed are captured and
+// replayed with the clock at the consuming update's arrival: the
+// BatchSiteAlgo stopping rule puts every captured send on the last
+// consumed update, so latency, jitter draws, and link-FIFO floors are
+// scheduled exactly as the per-update path would have scheduled them.
+func (s *AsyncSim) StepBatch(us []stream.Update) (int, bool) {
+	u := us[0]
+	gap := s.model.Gap()
+	arrival := u.T * gap
+	b := s.batchSites[u.Site]
+	if b == nil || (s.heap.len() > 0 && s.heap.ev[0].at < arrival) {
+		return 1, s.stepOne(u, arrival)
+	}
+	jmax := maxSiteRun
+	if jmax > len(us) {
+		jmax = len(us)
+	}
+	j := 1
+	for j < jmax && us[j].Site == u.Site {
+		a := us[j].T * gap
+		if s.heap.len() > 0 {
+			top := s.heap.ev[0].at
+			if a > top {
+				break
+			}
+			if a == top {
+				j++
+				break
+			}
+		}
+		j++
+	}
+	if j == 1 {
+		return 1, s.stepOne(u, arrival)
+	}
+	s.capture.msgs = s.capture.msgs[:0]
+	n := b.OnUpdateBatch(us[:j], &s.capture)
+	if n <= 0 {
+		panic("dist: OnUpdateBatch consumed no updates")
+	}
+	last := us[n-1]
+	if a := last.T * gap; a > s.now {
+		s.now = a
+	}
+	s.curT = last.T
+	from := int32(u.Site)
+	for _, m := range s.capture.msgs {
+		s.send(from, CoordID, m)
+	}
+	s.capture.msgs = s.capture.msgs[:0]
+	active := false
+	for s.heap.len() > 0 && s.heap.ev[0].at <= s.now {
+		e := s.heap.pop()
+		s.process(&e)
+		active = true
+	}
+	return n, active
+}
+
+// RunBatch drives an entire stream through the batched ingest path,
+// filling the caller-owned buffer from the stream and feeding it through
+// StepBatch. A nil or empty buf gets a default-sized one. The end state is
+// byte-identical to Run; it does not Flush.
+func (s *AsyncSim) RunBatch(st stream.Stream, buf []stream.Update) int64 {
+	if len(buf) == 0 {
+		buf = make([]stream.Update, 256)
+	}
+	var steps int64
+	for {
+		n := stream.NextBatch(st, buf)
+		if n == 0 {
+			return steps
+		}
+		for i := 0; i < n; {
+			c, _ := s.StepBatch(buf[i:n])
+			i += c
+		}
+		steps += int64(n)
+	}
+}
+
 // Flush runs the event loop to exhaustion — every in-flight delivery,
 // retransmission, and scheduled churn transition — advancing the virtual
 // clock as it goes. After Flush the network is quiescent.
@@ -207,7 +357,7 @@ func (s *AsyncSim) Flush() {
 		if e.at > s.now {
 			s.now = e.at
 		}
-		s.process(e)
+		s.process(&e)
 	}
 }
 
@@ -218,7 +368,7 @@ func (s *AsyncSim) runUntil(t int64) {
 		if e.at > s.now {
 			s.now = e.at
 		}
-		s.process(e)
+		s.process(&e)
 	}
 }
 
@@ -244,7 +394,8 @@ func (s *AsyncSim) ClassStats() []Stats { return copyStats(s.classStats) }
 func (s *AsyncSim) Inject(fn func(Outbox)) {
 	fn(s.coordOut)
 	for s.heap.len() > 0 && s.heap.ev[0].at <= s.now {
-		s.process(s.heap.pop())
+		e := s.heap.pop()
+		s.process(&e)
 	}
 }
 
@@ -259,7 +410,8 @@ func (s *AsyncSim) Down(site int) bool { return s.down[site] }
 
 // ScheduleDown partitions site's link at virtual tick at.
 func (s *AsyncSim) ScheduleDown(site int, at int64) {
-	s.pushEvent(event{at: at, kind: evDown, to: int32(site)})
+	e := event{at: at, kind: evDown, to: int32(site)}
+	s.pushEvent(&e)
 }
 
 // ScheduleUp restores site's link at virtual tick at, firing the resync
@@ -267,10 +419,11 @@ func (s *AsyncSim) ScheduleDown(site int, at int64) {
 // them; messages the hooks emit travel through the modeled network like any
 // others.
 func (s *AsyncSim) ScheduleUp(site int, at int64) {
-	s.pushEvent(event{at: at, kind: evUp, to: int32(site)})
+	e := event{at: at, kind: evUp, to: int32(site)}
+	s.pushEvent(&e)
 }
 
-func (s *AsyncSim) pushEvent(e event) {
+func (s *AsyncSim) pushEvent(e *event) {
 	if e.at < s.now {
 		e.at = s.now
 	}
@@ -281,12 +434,13 @@ func (s *AsyncSim) pushEvent(e event) {
 
 // send schedules one transmission of a freshly emitted message.
 func (s *AsyncSim) send(from, to int32, m Msg) {
-	s.transmit(event{kind: evDeliver, from: from, to: to, sent: s.now, msg: m}, s.now)
+	e := event{kind: evDeliver, from: from, to: to, sent: s.now, msg: m}
+	s.transmit(&e, s.now)
 }
 
 // transmit schedules a delivery attempt of e departing at tick depart,
 // applying latency, jitter, and the per-link ordering floor.
-func (s *AsyncSim) transmit(e event, depart int64) {
+func (s *AsyncSim) transmit(e *event, depart int64) {
 	at := depart + s.model.Latency
 	if s.model.Jitter > 0 {
 		at += s.src.Int63n(s.model.Jitter + 1)
@@ -325,7 +479,7 @@ func (s *AsyncSim) linkDown(e *event) bool {
 }
 
 // process handles one popped event at the current virtual time.
-func (s *AsyncSim) process(e event) {
+func (s *AsyncSim) process(e *event) {
 	switch e.kind {
 	case evDown:
 		s.down[e.to] = true
@@ -345,7 +499,7 @@ func (s *AsyncSim) process(e event) {
 	// A delivery attempt: lost if the link is partitioned or the iid coin
 	// says so, in which case the bounded retransmission budget decides
 	// between a retry RTO ticks out and giving the message up for dropped.
-	lost := s.linkDown(&e)
+	lost := s.linkDown(e)
 	if !lost && s.model.Drop > 0 && s.src.Float64() < s.model.Drop {
 		lost = true
 	}
@@ -353,13 +507,13 @@ func (s *AsyncSim) process(e event) {
 		if e.attempt <= s.model.Retrans {
 			s.stats.Retransmitted++
 			if s.classifier != nil {
-				s.classSlotOf(&e).Retransmitted++
+				s.classSlotOf(e).Retransmitted++
 			}
 			s.transmit(e, s.now+s.model.rto())
 		} else {
 			s.stats.Dropped++
 			if s.classifier != nil {
-				s.classSlotOf(&e).Dropped++
+				s.classSlotOf(e).Dropped++
 			}
 		}
 		return
@@ -372,7 +526,7 @@ func (s *AsyncSim) process(e event) {
 	}
 	s.stats.add(&e.msg, e.to)
 	if s.classifier != nil {
-		cs := s.classSlotOf(&e)
+		cs := s.classSlotOf(e)
 		cs.StalenessSum += lag
 		if lag > cs.StalenessMax {
 			cs.StalenessMax = lag

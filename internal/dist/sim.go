@@ -76,6 +76,9 @@ type msgRing struct {
 // slot reserves the next tail entry and returns it for in-place filling,
 // growing the backing array if full. Writing fields into the slot saves a
 // full envelope copy per enqueued message versus a push-by-value API.
+// The grow call keeps slot above the compiler's inlining budget, so the
+// outbox Send paths open-code the common full-ring check themselves and
+// only call here on the grow edge (once per high-water mark).
 func (r *msgRing) slot() *envelope {
 	if r.n == len(r.buf) {
 		r.grow()
@@ -85,14 +88,25 @@ func (r *msgRing) slot() *envelope {
 	return e
 }
 
-// pop removes and returns the oldest envelope. It panics on an empty ring.
+// peek returns the oldest envelope in place; drop releases it. Splitting
+// pop this way lets drain hand deliver a pointer into the ring instead of
+// copying the envelope out — safe because deliver finishes every read of
+// the slot before the handler (whose sends could recycle it) runs.
+func (r *msgRing) peek() *envelope { return &r.buf[r.head] }
+
+func (r *msgRing) drop() {
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+}
+
+// pop removes and returns the oldest envelope (peek + drop, with a copy).
+// It panics on an empty ring.
 func (r *msgRing) pop() envelope {
 	if r.n == 0 {
 		panic("dist: pop from empty msgRing")
 	}
-	e := r.buf[r.head]
-	r.head = (r.head + 1) & (len(r.buf) - 1)
-	r.n--
+	e := *r.peek()
+	r.drop()
 	return e
 }
 
@@ -137,11 +151,14 @@ func (s *Sim) Step(u stream.Update) {
 	s.drain()
 }
 
-// drain delivers queued messages to quiescence.
+// drain delivers queued messages to quiescence. The envelope is delivered
+// from its ring slot (released first, so handler sends can grow the ring
+// freely); deliver completes all reads before dispatching the handler.
 func (s *Sim) drain() {
 	for s.queue.n > 0 {
-		e := s.queue.pop()
-		s.deliver(&e)
+		e := s.queue.peek()
+		s.queue.drop()
+		s.deliver(e)
 	}
 }
 
@@ -211,6 +228,10 @@ func (s *Sim) StepBatch(us []stream.Update) (consumed int, delivered bool) {
 			return i, true
 		}
 	}
+	// Keep the transcript stamp current across message-free prefixes too,
+	// so a subsequent Inject stamps its cascade with the same T the
+	// per-update loop would have.
+	s.t = us[i-1].T
 	return i, false
 }
 
@@ -271,8 +292,10 @@ func (s *Sim) classify(e *envelope) {
 
 // deliver accounts, records, and dispatches one message. Handlers may
 // enqueue further messages; the drain loop delivers them in FIFO order.
-// The envelope is taken by pointer (to a caller-owned copy, never into the
-// ring — a handler's send may grow the ring mid-delivery).
+// The envelope pointer may point into the ring at an already-released
+// slot: every read of *e happens before the handler runs (the dispatch
+// copies e.msg into the call), so sends that recycle or grow the ring
+// mid-delivery cannot corrupt the delivery.
 func (s *Sim) deliver(e *envelope) {
 	s.stats.add(&e.msg, e.to)
 	if s.classifier != nil {
@@ -294,13 +317,23 @@ type simOutbox struct {
 	from int32
 }
 
+// The three Outbox methods below open-code the ring append (slot is past
+// the compiler's inlining budget because of grow), so the per-message hot
+// path is the virtual Send dispatch plus straight-line stores; grow runs
+// once per high-water mark.
+
 // Send implements Outbox.
 func (o *simOutbox) Send(m Msg) {
 	if o.from == CoordID {
 		o.Broadcast(m)
 		return
 	}
-	e := o.s.queue.slot()
+	q := &o.s.queue
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	e := &q.buf[(q.head+q.n)&(len(q.buf)-1)]
+	q.n++
 	e.to = CoordID
 	e.msg = m
 }
@@ -311,7 +344,12 @@ func (o *simOutbox) SendTo(site int, m Msg) {
 		o.Send(m)
 		return
 	}
-	e := o.s.queue.slot()
+	q := &o.s.queue
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	e := &q.buf[(q.head+q.n)&(len(q.buf)-1)]
+	q.n++
 	e.to = int32(site)
 	e.msg = m
 }
@@ -322,8 +360,13 @@ func (o *simOutbox) Broadcast(m Msg) {
 		o.Send(m)
 		return
 	}
+	q := &o.s.queue
 	for i := range o.s.sites {
-		e := o.s.queue.slot()
+		if q.n == len(q.buf) {
+			q.grow()
+		}
+		e := &q.buf[(q.head+q.n)&(len(q.buf)-1)]
+		q.n++
 		e.to = int32(i)
 		e.msg = m
 	}

@@ -275,6 +275,21 @@ func TestE28MuxMatchesSeparate(t *testing.T) {
 	}
 }
 
+func TestE30BatchIdenticalAndAmortized(t *testing.T) {
+	tbl := E30EngineBatch(quickCfg())
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("batched and per-update drives diverged in row %v", row)
+		}
+		if row[1] == "roundrobin" && row[3] != row[4] {
+			t.Fatalf("round-robin batched drive should bypass batching in row %v", row)
+		}
+		if row[1] != "roundrobin" && row[5] == "1.0" {
+			t.Fatalf("skewed assignment produced no amortization in row %v", row)
+		}
+	}
+}
+
 func TestE29AttachConverges(t *testing.T) {
 	tbl := E29DynamicAttach(quickCfg())
 	for _, row := range tbl.Rows {

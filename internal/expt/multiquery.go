@@ -51,6 +51,7 @@ func E28MuxAmortization(cfg Config) *Table {
 	n := cfg.scale(200_000)
 	ups := stream.Collect(stream.NewAssign(
 		stream.NewItemGen(n, 1024, 1.2, 0.2, cfg.Seed), stream.NewRoundRobin(k)))
+	buf := make([]stream.Update, 256)
 
 	for _, q := range []int{1, 2, 4, 8, 16, 32} {
 		specs := e28Mix(q, cfg.Seed+100)
@@ -61,7 +62,7 @@ func E28MuxAmortization(cfg Config) *Table {
 		}
 		mux := dist.NewSim(eng, esites)
 		mux.SetClassifier(eng)
-		mux.Run(stream.NewSlice(ups))
+		mux.RunBatch(stream.NewSlice(ups), buf)
 		muxStats := mux.Stats()
 
 		var sep dist.Stats
@@ -70,7 +71,7 @@ func E28MuxAmortization(cfg Config) *Table {
 		for qi, spec := range specs {
 			coord, sites := standaloneFor(k, spec)
 			sim := dist.NewSim(coord, sites)
-			sim.Run(stream.NewSlice(ups))
+			sim.RunBatch(stream.NewSlice(ups), buf)
 			s := sim.Stats()
 			sep.SiteToCoord += s.SiteToCoord
 			sep.CoordToSite += s.CoordToSite

@@ -5,6 +5,8 @@ import (
 
 	"repro/internal/bound"
 	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/query"
 	"repro/internal/stream"
 	"repro/internal/track"
 )
@@ -12,6 +14,20 @@ import (
 // assignRR wraps a generator with round-robin assignment.
 func assignRR(st stream.Stream, k int) stream.Stream {
 	return stream.NewAssign(st, stream.NewRoundRobin(k))
+}
+
+// engineRouted deploys a tracker as a Q = 1 multi-query engine — the
+// deployment the det/rand tracking experiments measure since PR 6, so the
+// committed timings price the engine's demux and fan-out in. The Q = 1
+// byte-identity anchor (TestEngineQ1ByteIdentical) guarantees the table
+// numbers are unchanged from the standalone deployment; only wall clock
+// can move, which is what BENCH_pr6.json documents.
+func engineRouted(k int, spec query.Spec) (dist.CoordAlgo, []dist.SiteAlgo) {
+	coord, sites, err := query.New(k, []query.Spec{spec})
+	if err != nil {
+		panic(err)
+	}
+	return coord, sites
 }
 
 // resetStream rewinds a stream for another measurement pass; multi-pass
@@ -32,7 +48,7 @@ func E05Partitioning(cfg Config) *Table {
 	n := cfg.scale(200_000)
 	for _, k := range []int{4, 16} {
 		for _, c := range stream.Classes() {
-			coord, sites := track.NewDeterministic(k, 0.5) // wide ε: partition cost dominates
+			coord, sites := engineRouted(k, query.Spec{Algo: "det", Eps: 0.5}) // wide ε: partition cost dominates
 			res := track.Run(c.Name, assignRR(c.Make(n, cfg.Seed), k), coord, sites, 0.5)
 			minDV := math.Inf(1)
 			prev := 0.0
@@ -63,7 +79,7 @@ func E06Deterministic(cfg Config) *Table {
 	for _, c := range stream.Classes() {
 		for _, k := range []int{4, 16} {
 			for _, eps := range []float64{0.1, 0.02} {
-				coord, sites := track.NewDeterministic(k, eps)
+				coord, sites := engineRouted(k, query.Spec{Algo: "det", Eps: eps})
 				res := track.Run(c.Name, assignRR(c.Make(n, cfg.Seed), k), coord, sites, eps)
 				bd := bound.DetMessages(k, eps, res.V)
 				t.AddRow(c.Name, di(k), g3(eps), f1(res.V), d(res.Stats.Total()),
@@ -99,7 +115,7 @@ func E07Randomized(cfg Config) *Table {
 	for _, c := range stream.Classes() {
 		for _, k := range []int{16, 64} {
 			for _, eps := range []float64{0.1, 0.02} {
-				coord, sites := track.NewRandomized(k, eps, cfg.Seed+uint64(k))
+				coord, sites := engineRouted(k, query.Spec{Algo: "rand", Eps: eps, Seed: cfg.Seed + uint64(k)})
 				res := track.Run(c.Name, assignRR(c.Make(n, cfg.Seed), k), coord, sites, eps)
 				bd := bound.RandMessagesExpected(k, eps, res.V)
 				t.AddRow(c.Name, di(k), g3(eps), f1(res.V), d(res.Stats.Total()),
@@ -120,15 +136,14 @@ func E08MonotoneReduction(cfg Config) *Table {
 	n := cfg.scale(400_000)
 	for _, k := range []int{4, 16} {
 		for _, eps := range []float64{0.1, 0.02} {
-			run := func(b track.Builder, seed uint64) track.Result {
-				coord, sites := b(k, eps, seed)
+			run := func(coord dist.CoordAlgo, sites []dist.SiteAlgo) track.Result {
 				return track.Run("monotone", assignRR(stream.Monotone(n), k), coord, sites, eps)
 			}
 			bs := track.Builders()
-			det := run(bs["det"], cfg.Seed)
-			cmy := run(bs["cmy"], cfg.Seed)
-			rnd := run(bs["rand"], cfg.Seed+1)
-			hyz := run(bs["hyz"], cfg.Seed+2)
+			det := run(engineRouted(k, query.Spec{Algo: "det", Eps: eps}))
+			cmy := run(bs["cmy"](k, eps, cfg.Seed))
+			rnd := run(engineRouted(k, query.Spec{Algo: "rand", Eps: eps, Seed: cfg.Seed + 1}))
+			hyz := run(bs["hyz"](k, eps, cfg.Seed+2))
 			t.AddRow(di(k), g3(eps), d(n),
 				d(det.Stats.Total()), d(cmy.Stats.Total()), f2(float64(det.Stats.Total())/float64(cmy.Stats.Total())),
 				d(rnd.Stats.Total()), d(hyz.Stats.Total()), f2(float64(rnd.Stats.Total())/float64(hyz.Stats.Total())))
@@ -148,14 +163,13 @@ func E09VsLRV(cfg Config) *Table {
 	n := cfg.scale(200_000)
 	k := 16
 	for _, eps := range []float64{0.1, 0.05} {
-		run := func(b track.Builder, seed uint64) track.Result {
-			coord, sites := b(k, eps, seed)
+		run := func(coord dist.CoordAlgo, sites []dist.SiteAlgo) track.Result {
 			return track.Run("walk", assignRR(stream.RandomWalk(n, cfg.Seed), k), coord, sites, eps)
 		}
 		bs := track.Builders()
-		det := run(bs["det"], cfg.Seed)
-		rnd := run(bs["rand"], cfg.Seed+1)
-		lrv := run(bs["lrv"], cfg.Seed+2)
+		det := run(engineRouted(k, query.Spec{Algo: "det", Eps: eps}))
+		rnd := run(engineRouted(k, query.Spec{Algo: "rand", Eps: eps, Seed: cfg.Seed + 1}))
+		lrv := run(bs["lrv"](k, eps, cfg.Seed+2))
 		t.AddRow(di(k), g3(eps), d(n), f1(det.V),
 			d(det.Stats.Total()), d(rnd.Stats.Total()), d(lrv.Stats.Total()),
 			f1(bound.LRVFairCoinMessagesExpected(k, eps, n)))
@@ -239,7 +253,7 @@ func E11LargeUpdates(cfg Config) *Table {
 		// its guarantee.
 		k, eps := 4, 0.1
 		resetStream(split)
-		coord, sites := track.NewDeterministic(k, eps)
+		coord, sites := engineRouted(k, query.Spec{Algo: "det", Eps: eps})
 		res := track.Run("split", stream.NewAssign(split, stream.NewRoundRobin(k)), coord, sites, eps)
 		t.AddRow(d(maxStep), f1(bulkV), f1(splitV), f2(splitV/bulkV),
 			f2(1+core.Harmonic(maxStep)), b(res.Violations == 0))

@@ -3,6 +3,7 @@ package query
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dist"
 	"repro/internal/freq"
@@ -109,36 +110,59 @@ func buildQuery(k int, spec Spec) (*queryState, error) {
 type Engine struct {
 	k int
 
-	mu      sync.Mutex
-	queries []*queryState
+	// mu serializes registration (rare, control plane); the delivery path
+	// reads the table through an atomically published snapshot, so the
+	// per-message qid lookup is one atomic load plus a dense slice index —
+	// no lock, no allocation. The profile had the old mutex-guarded get at
+	// ~6% of engine-heavy runs.
+	mu    sync.Mutex
+	table atomic.Pointer[[]*queryState]
+
+	// q0 caches the query-0 entry and est0 its coordinator when that is a
+	// *track.BlockCoord, both set once at registration: the Q = 1 hot path
+	// (every Estimate poll and every message at Q = 1) skips the table
+	// snapshot, the bounds checks, and — for est0 — one interface dispatch.
+	q0   atomic.Pointer[queryState]
+	est0 atomic.Pointer[track.BlockCoord]
 }
 
 // get returns the query with id qid, or nil.
 func (e *Engine) get(qid int) *queryState {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if qid < 0 || qid >= len(e.queries) {
+	qs := e.snapshot()
+	if qid < 0 || qid >= len(qs) {
 		return nil
 	}
-	return e.queries[qid]
+	return qs[qid]
 }
 
-// register appends q and returns its query id.
+// register copies the dense table, appends q, and publishes the new
+// snapshot. Readers holding the old slice stay valid — entries are never
+// mutated in place.
 func (e *Engine) register(q *queryState) int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	qid := len(e.queries)
+	old := e.snapshot()
+	qid := len(old)
 	q.coordOut = tagOutbox{qid: qid, k: e.k}
-	e.queries = append(e.queries, q)
+	qs := make([]*queryState, qid+1)
+	copy(qs, old)
+	qs[qid] = q
+	e.table.Store(&qs)
+	if qid == 0 {
+		e.q0.Store(q)
+		if bc, ok := q.coord.(*track.BlockCoord); ok {
+			e.est0.Store(bc)
+		}
+	}
 	return qid
 }
 
-// snapshot returns the current query table (the slice is append-only, so
-// the snapshot stays valid).
+// snapshot returns the current query table.
 func (e *Engine) snapshot() []*queryState {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.queries
+	if p := e.table.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // New builds a multi-query engine over k sites with the given initial
@@ -187,6 +211,22 @@ type Coord struct {
 // owning child. Messages for unknown or detached queries (in flight across
 // a detach, or corrupted) are discarded.
 func (c *Coord) OnMessage(m dist.Msg, out dist.Outbox) {
+	// Query 0 is tagged identically to a standalone deployment (Tag is the
+	// identity at qid 0), so its traffic — all of it, at Q = 1 — skips the
+	// demux copy and the tag wrapper. The wrappers were ~half the engine's
+	// per-message overhead in the E06/E07 profile.
+	if m.Site == dist.CoordID || (m.Site >= 0 && int(m.Site) < c.eng.k) {
+		if bc := c.eng.est0.Load(); bc != nil {
+			// Block-partitioned query 0, not detached (Detach clears est0):
+			// one concrete call.
+			bc.OnMessage(m, out)
+			return
+		}
+		if q := c.eng.q0.Load(); q != nil && !q.detached {
+			q.coord.OnMessage(m, out)
+		}
+		return
+	}
 	qid, inner := Demux(m, c.eng.k)
 	q := c.eng.get(qid)
 	if q == nil || q.detached {
@@ -196,9 +236,14 @@ func (c *Coord) OnMessage(m dist.Msg, out dist.Outbox) {
 	q.coord.OnMessage(inner, &q.coordOut)
 }
 
-// Estimate implements dist.CoordAlgo: the estimate of query 0.
+// Estimate implements dist.CoordAlgo: the estimate of query 0. The
+// harness polls it at every quiescent chunk, so the block-partitioned
+// families go through the cached concrete coordinator.
 func (c *Coord) Estimate() int64 {
-	if q := c.eng.get(0); q != nil {
+	if bc := c.eng.est0.Load(); bc != nil {
+		return bc.Estimate()
+	}
+	if q := c.eng.q0.Load(); q != nil {
 		return q.coord.Estimate()
 	}
 	return 0
@@ -230,6 +275,20 @@ func (c *Coord) Class(m *dist.Msg) int {
 	return int(m.Site) / c.eng.k
 }
 
+// UnderlyingBlockCoord implements track.BlockCoordSource: query 0's block
+// partitioner when it has one, so harness instrumentation (block counts,
+// per-block variability snapshots) sees through the engine.
+func (c *Coord) UnderlyingBlockCoord() *track.BlockCoord {
+	q := c.eng.get(0)
+	if q == nil {
+		return nil
+	}
+	if bc, ok := q.coord.(*track.BlockCoord); ok {
+		return bc
+	}
+	return nil
+}
+
 // Attach registers a new query mid-stream and broadcasts its announcement.
 // Run it through the runtime's Inject hook so the broadcast enters the
 // network at a defined point; sites bootstrap the query's state when the
@@ -257,6 +316,11 @@ func (c *Coord) Detach(qid int, out dist.Outbox) error {
 		return nil
 	}
 	q.detached = true
+	if qid == 0 {
+		// Estimate stays frozen through the q0 path; the message fast path
+		// must start discarding.
+		c.eng.est0.Store(nil)
+	}
 	out.Broadcast(dist.Msg{Kind: dist.KindDetach, Site: int32(-(1 + qid))})
 	return nil
 }
@@ -339,6 +403,21 @@ type siteChild struct {
 	algo   dist.SiteAlgo
 	filter func(uint64) bool
 	out    tagOutbox
+
+	// block (or, for non-BlockSite algos, batch) is the devirtualized
+	// batch fast path of algo, resolved once at construction — every
+	// tracker family wraps its sites in *track.BlockSite, so the hot loop
+	// makes a concrete call instead of two interface dispatches.
+	block *track.BlockSite
+	batch dist.BatchSiteAlgo
+
+	// ahead and pending carry a child's progress across the consumed-
+	// prefix cap of Site.OnUpdateBatch. ahead counts run updates the
+	// child has ingested beyond the site's consumed position; pending
+	// holds the tagged messages of the send that stopped its feed, to be
+	// released when the consumed position reaches the send's update.
+	ahead   int
+	pending []dist.Msg
 }
 
 // Site is the site half of the engine at one site. It implements
@@ -355,11 +434,46 @@ type Site struct {
 	// detached queries.
 	children []*siteChild
 
+	// solo is the Q = 1 fast-path precondition folded into one pointer:
+	// non-nil exactly when the sole attached child is query 0, unfiltered,
+	// block-partitioned, and caught up (ahead == 0, nothing pending) — so
+	// OnUpdate can make one concrete call with no per-child checks.
+	// recomputeSolo maintains it at every point those conditions can change.
+	solo *track.BlockSite
+
 	// The spine: everything a future attach might need to reconstruct.
 	updates     int64
 	plus, minus int64
 	items       map[uint64]int64
+
+	// One-item write-back cache over items: streams dominated by runs of
+	// a single item (walks, heavy zipf heads) hit it and skip the map
+	// probes that were ~12% of the engine profile; a miss costs the same
+	// two map operations the eager path paid. history() flushes it before
+	// reading the map.
+	cacheItem uint64
+	cacheN    int64
+	cacheOK   bool
+
+	// Scratch reused across OnUpdateBatch calls — filtered-view buffers
+	// and the send-capture sink — keeping the batched fan-out alloc-free
+	// at steady state.
+	fbuf    []stream.Update
+	fpos    []int
+	capture captureOutbox
 }
+
+// captureOutbox buffers a child's (already tagged) messages during a
+// batched feed. On the site side of every runtime Send, SendTo and
+// Broadcast all route to the coordinator, so capturing just the message
+// loses nothing.
+type captureOutbox struct {
+	buf *[]dist.Msg
+}
+
+func (o *captureOutbox) Send(m dist.Msg)          { *o.buf = append(*o.buf, m) }
+func (o *captureOutbox) SendTo(_ int, m dist.Msg) { *o.buf = append(*o.buf, m) }
+func (o *captureOutbox) Broadcast(m dist.Msg)     { *o.buf = append(*o.buf, m) }
 
 // preattach installs a child for an initial query, silently: no history
 // exists yet, so no bootstrap traffic — which keeps the Q = 1 engine
@@ -372,30 +486,253 @@ func (s *Site) preattach(qid int, q *queryState) {
 	if q.spec.Filter != nil {
 		ch.filter = q.spec.Filter.Match
 	}
+	if b, ok := ch.algo.(*track.BlockSite); ok {
+		ch.block = b
+	} else if b, ok := ch.algo.(dist.BatchSiteAlgo); ok {
+		ch.batch = b
+	}
 	s.children[qid] = ch
+	s.recomputeSolo()
+}
+
+// recomputeSolo re-derives the Q = 1 fast-path pointer; see Site.solo.
+func (s *Site) recomputeSolo() {
+	s.solo = nil
+	if len(s.children) != 1 {
+		return
+	}
+	ch := s.children[0]
+	if ch != nil && ch.ahead == 0 && len(ch.pending) == 0 && ch.filter == nil {
+		s.solo = ch.block
+	}
+}
+
+// spineMass folds one delta into the ± mass split, branch-free: a
+// random-sign delta stream would mispredict a sign branch about half the
+// time, once per update.
+func (s *Site) spineMass(delta int64) {
+	mask := delta >> 63
+	s.plus += delta &^ mask
+	s.minus += (-delta) & mask
+}
+
+// spineItem folds one item delta into the spine through the write-back
+// cache. The cached entry may shadow a stale value in the map until
+// flushItemCache writes it back.
+func (s *Site) spineItem(item uint64, delta int64) {
+	if s.cacheOK && item == s.cacheItem {
+		s.cacheN += delta
+		return
+	}
+	s.flushItemCache()
+	s.cacheItem, s.cacheN, s.cacheOK = item, s.items[item]+delta, true
+}
+
+// flushItemCache writes the cached item count back into the map (keeping
+// the eager path's delete-on-zero invariant).
+func (s *Site) flushItemCache() {
+	if !s.cacheOK {
+		return
+	}
+	if s.cacheN == 0 {
+		delete(s.items, s.cacheItem)
+	} else {
+		s.items[s.cacheItem] = s.cacheN
+	}
+	s.cacheOK = false
+}
+
+// flushPending releases a child's buffered send into the network.
+func (s *Site) flushPending(ch *siteChild, out dist.Outbox) {
+	for _, m := range ch.pending {
+		out.Send(m)
+	}
+	ch.pending = ch.pending[:0]
 }
 
 // OnUpdate implements dist.SiteAlgo: maintain the spine, then fan the
-// update out to every attached child whose filter accepts it.
+// update out to every attached child whose filter accepts it. A child
+// that ran ahead of the consumed position inside an earlier OnUpdateBatch
+// has already ingested this update; its position debt is paid down
+// instead, and a buffered send is released on exactly the update it
+// happened on.
 func (s *Site) OnUpdate(u stream.Update, out dist.Outbox) {
 	s.updates++
-	if u.Delta >= 0 {
-		s.plus += u.Delta
-	} else {
-		s.minus -= u.Delta
-	}
-	if n := s.items[u.Item] + u.Delta; n == 0 {
-		delete(s.items, u.Item)
-	} else {
-		s.items[u.Item] = n
+	s.spineMass(u.Delta)
+	s.spineItem(u.Item, u.Delta)
+	// Q = 1 fast path (see Site.solo): one concrete call, no tag wrapper,
+	// no per-child checks.
+	if b := s.solo; b != nil {
+		b.OnUpdate(u, out)
+		return
 	}
 	for _, ch := range s.children {
-		if ch == nil || (ch.filter != nil && !ch.filter(u.Item)) {
+		if ch == nil {
 			continue
 		}
-		ch.out.reset(out)
-		ch.algo.OnUpdate(u, &ch.out)
+		if ch.ahead > 0 {
+			ch.ahead--
+			if ch.ahead == 0 {
+				if len(ch.pending) > 0 {
+					s.flushPending(ch, out)
+				}
+				s.recomputeSolo()
+			}
+			continue
+		}
+		if ch.filter != nil && !ch.filter(u.Item) {
+			continue
+		}
+		// Query 0 sends untagged (Tag is the identity at qid 0), so its
+		// child writes straight to the runtime outbox.
+		dst := out
+		if ch.out.qid != 0 {
+			ch.out.reset(out)
+			dst = &ch.out
+		}
+		if ch.block != nil {
+			ch.block.OnUpdate(u, dst)
+		} else {
+			ch.algo.OnUpdate(u, dst)
+		}
 	}
+}
+
+// OnUpdateBatch implements dist.BatchSiteAlgo: scan the same-site run
+// once, coalesce the spine maintenance, evaluate each child's filter per
+// run, and fan the run out through each child's batch fast path.
+//
+// The consumed prefix is capped at the earliest child send: a child that
+// sends stops there (the BatchSiteAlgo contract), but children fed before
+// the cap dropped may have run ahead. Their progress is carried in
+// ch.ahead and the stopping send's messages stay buffered in ch.pending
+// until the consumed position catches up, so every message still enters
+// the network on exactly the update it would have under per-update
+// dispatch — which is what keeps transcripts, per-step estimates, and
+// per-query Stats byte-identical across the two drive modes.
+func (s *Site) OnUpdateBatch(us []stream.Update, out dist.Outbox) int {
+	// Q = 1 fast path (see Site.solo): the sole child's consumed prefix is
+	// the site's, and its send — which by the BatchSiteAlgo contract lands
+	// on the last consumed update — needs no capture: it enters the network
+	// exactly where per-update dispatch would put it.
+	if b := s.solo; b != nil {
+		n := b.OnUpdateBatch(us, out)
+		if n <= 0 {
+			panic("query: child OnUpdateBatch consumed no updates")
+		}
+		s.updates += int64(n)
+		for i := 0; i < n; i++ {
+			s.spineMass(us[i].Delta)
+			s.spineItem(us[i].Item, us[i].Delta)
+		}
+		return n
+	}
+	// The prefix can reach at most the earliest buffered send.
+	lim := len(us)
+	for _, ch := range s.children {
+		if ch != nil && len(ch.pending) > 0 && ch.ahead < lim {
+			lim = ch.ahead
+		}
+	}
+	// Feed each remaining child the part of the prefix it has not yet
+	// ingested, in child order; a send lowers the cap for the children
+	// after it (their feeds stop earlier, never rewind).
+	for _, ch := range s.children {
+		if ch == nil || len(ch.pending) > 0 || ch.ahead >= lim {
+			continue
+		}
+		pos := s.feed(ch, us, ch.ahead, lim)
+		ch.ahead = pos
+		if len(ch.pending) > 0 && pos < lim {
+			lim = pos
+		}
+	}
+	consumed := lim
+	// Spine: one pass over the consumed prefix; the write-back cache
+	// coalesces the per-item map writes across same-item stretches.
+	s.updates += int64(consumed)
+	for i := 0; i < consumed; i++ {
+		s.spineMass(us[i].Delta)
+		s.spineItem(us[i].Item, us[i].Delta)
+	}
+	// Release sends that land exactly at the consumed boundary — child
+	// order is per-update dispatch order — then rebase the run positions.
+	for _, ch := range s.children {
+		if ch == nil {
+			continue
+		}
+		if ch.ahead == consumed && len(ch.pending) > 0 {
+			s.flushPending(ch, out)
+		}
+		if ch.ahead > consumed {
+			ch.ahead -= consumed
+		} else {
+			ch.ahead = 0
+		}
+	}
+	s.recomputeSolo()
+	return consumed
+}
+
+// feed drives ch over us[start:lim), capturing any send into ch.pending.
+// It returns the child's new absolute position: the send's update index
+// plus one when a send was captured, lim otherwise.
+func (s *Site) feed(ch *siteChild, us []stream.Update, start, lim int) int {
+	s.capture.buf = &ch.pending
+	// Query 0's sends are untagged, so its child captures directly.
+	dst := dist.Outbox(&s.capture)
+	if ch.out.qid != 0 {
+		ch.out.reset(&s.capture)
+		dst = &ch.out
+	}
+	if ch.filter == nil {
+		i := start
+		for i < lim {
+			i += s.feedOnce(ch, us[i:lim], dst)
+			if len(ch.pending) > 0 {
+				return i
+			}
+		}
+		return lim
+	}
+	// Filtered child: build the filtered view once per run, feed it
+	// through the batch path, and map the stop position back to the run
+	// (a send on filtered update j caps the prefix at the run index that
+	// update came from).
+	s.fbuf, s.fpos = s.fbuf[:0], s.fpos[:0]
+	for j := start; j < lim; j++ {
+		if ch.filter(us[j].Item) {
+			s.fbuf = append(s.fbuf, us[j])
+			s.fpos = append(s.fpos, j)
+		}
+	}
+	i := 0
+	for i < len(s.fbuf) {
+		i += s.feedOnce(ch, s.fbuf[i:], dst)
+		if len(ch.pending) > 0 {
+			return s.fpos[i-1] + 1
+		}
+	}
+	return lim
+}
+
+// feedOnce advances ch over a nonempty slice through its fastest
+// available path and returns how many updates it consumed (≥ 1).
+func (s *Site) feedOnce(ch *siteChild, us []stream.Update, dst dist.Outbox) int {
+	var n int
+	switch {
+	case ch.block != nil:
+		n = ch.block.OnUpdateBatch(us, dst)
+	case ch.batch != nil:
+		n = ch.batch.OnUpdateBatch(us, dst)
+	default:
+		ch.algo.OnUpdate(us[0], dst)
+		n = 1
+	}
+	if n <= 0 {
+		panic("query: child OnUpdateBatch consumed no updates")
+	}
+	return n
 }
 
 // OnMessage implements dist.SiteAlgo: demultiplex; handle the attach and
@@ -403,17 +740,25 @@ func (s *Site) OnUpdate(u stream.Update, out dist.Outbox) {
 // child. Messages for queries this site does not run (an attach lost on a
 // faulty runtime and not yet resent) are discarded.
 func (s *Site) OnMessage(m dist.Msg, out dist.Outbox) {
-	qid, inner := Demux(m, s.eng.k)
-	switch inner.Kind {
-	case dist.KindAttach:
-		s.attach(qid, out)
-		return
-	case dist.KindDetach:
-		if qid >= 0 && qid < len(s.children) {
+	if m.Kind == dist.KindAttach || m.Kind == dist.KindDetach {
+		qid, inner := Demux(m, s.eng.k)
+		if inner.Kind == dist.KindAttach {
+			s.attach(qid, out)
+		} else if qid >= 0 && qid < len(s.children) {
 			s.children[qid] = nil
+			s.recomputeSolo()
 		}
 		return
 	}
+	// Query 0's tagging is the identity (the Q = 1 hot path): dispatch the
+	// message as-is, replies untagged.
+	if m.Site == dist.CoordID || (m.Site >= 0 && int(m.Site) < s.eng.k) {
+		if len(s.children) > 0 && s.children[0] != nil {
+			s.children[0].algo.OnMessage(m, out)
+		}
+		return
+	}
+	qid, inner := Demux(m, s.eng.k)
 	if qid < 0 || qid >= len(s.children) || s.children[qid] == nil {
 		return
 	}
@@ -471,6 +816,7 @@ func (s *Site) attach(qid int, out dist.Outbox) {
 // collection after bootstrap makes the boundary exact regardless, see
 // track/attach.go).
 func (s *Site) history(f *Filter) track.AttachState {
+	s.flushItemCache()
 	if f == nil {
 		return track.AttachState{Updates: s.updates, Plus: s.plus, Minus: s.minus, Items: s.items}
 	}

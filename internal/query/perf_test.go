@@ -1,0 +1,59 @@
+package query_test
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// TestEngineStepBatchZeroAlloc asserts the zero-alloc contract of the
+// engine's batched hot path: after warmup (map growth, scratch buffers,
+// early block boundaries), driving same-site runs through Sim.StepBatch —
+// engine demux, spine coalescing, child fan-out, capture/flush machinery
+// included — allocates nothing. Wired into the CI alloc-regression step
+// next to the Sim/sketch/stream suites.
+func TestEngineStepBatchZeroAlloc(t *testing.T) {
+	const k = 4
+	const warm, runs = 30_000, 4_000 // runs counts StepBatch calls, each a 64-update buffer
+	const bs = 64
+	filter, err := query.ParseFilter("even")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, esites, err := query.New(k, []query.Spec{
+		{Algo: "det", Eps: 0.1},
+		{Algo: "rand", Eps: 0.05, Seed: 5},
+		{Algo: "det", Eps: 0.1, Filter: filter},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := dist.NewSim(eng, esites)
+	sim.SetClassifier(eng)
+
+	// Skewed assignment produces long same-site runs, so the measured loop
+	// exercises OnUpdateBatch rather than the per-update bypass.
+	st := stream.NewAssign(
+		stream.NewItemGen(int64(warm+runs*bs+bs), 512, 1.2, 0.2, 13),
+		stream.NewSkewed(k, 2.0, 29))
+	buf := make([]stream.Update, bs)
+	for i := 0; i < warm; {
+		n := stream.NextBatch(st, buf)
+		for j := 0; j < n; {
+			c, _ := sim.StepBatch(buf[j:n])
+			j += c
+		}
+		i += n
+	}
+	if a := testing.AllocsPerRun(runs-1, func() {
+		n := stream.NextBatch(st, buf)
+		for j := 0; j < n; {
+			c, _ := sim.StepBatch(buf[j:n])
+			j += c
+		}
+	}); a != 0 {
+		t.Fatalf("engine StepBatch allocated %v objects per %d-update buffer at steady state, want 0", a, bs)
+	}
+}

@@ -138,12 +138,28 @@ func (s *Assign) Next() (Update, bool) {
 // NextBatch implements BatchStream: the inner stream fills the buffer
 // natively, then sites are stamped in a second pass. Round-robin — the
 // harness default — is special-cased so the dominant assignment policy
-// pays arithmetic, not an interface call, per update.
+// pays arithmetic, not an interface call, per update; within the batch
+// the site index advances by increment-and-wrap across consecutive
+// timesteps, so the integer division runs once per discontinuity rather
+// than once per update.
 func (s *Assign) NextBatch(buf []Update) int {
 	n := NextBatch(s.inner, buf)
-	if rr, ok := s.a.(*RoundRobin); ok {
-		for i := 0; i < n; i++ {
-			buf[i].Site = rr.Site(buf[i].T)
+	if rr, ok := s.a.(*RoundRobin); ok && n > 0 {
+		k := int64(rr.k)
+		t := buf[0].T
+		site := (t - 1) % k
+		buf[0].Site = int(site)
+		for i := 1; i < n; i++ {
+			if buf[i].T == t+1 {
+				site++
+				if site == k {
+					site = 0
+				}
+			} else {
+				site = (buf[i].T - 1) % k
+			}
+			t = buf[i].T
+			buf[i].Site = int(site)
 		}
 		return n
 	}

@@ -67,6 +67,14 @@ func (r Result) String() string {
 // enough to amortize the per-buffer dispatch, small enough to stay in L1.
 const runBufSize = 256
 
+// BlockCoordSource exposes the underlying *BlockCoord of a wrapping
+// coordinator (the multi-query engine, say), so Run's block-boundary
+// instrumentation works however the tracker is deployed. A nil return
+// means the wrapped coordinator does not partition time.
+type BlockCoordSource interface {
+	UnderlyingBlockCoord() *BlockCoord
+}
+
 // Run simulates the tracker over the stream and checks the estimate against
 // the exact value after every step. The stream's updates must already carry
 // site assignments in [0, k).
@@ -83,6 +91,12 @@ func Run(name string, st stream.Stream, coord dist.CoordAlgo, sites []dist.SiteA
 	res := Result{Name: name, K: len(sites), Eps: eps}
 
 	bc, hasBlocks := coord.(*BlockCoord)
+	if !hasBlocks {
+		if src, ok := coord.(BlockCoordSource); ok {
+			bc = src.UnderlyingBlockCoord()
+			hasBlocks = bc != nil
+		}
+	}
 	lastBlocks := int64(0)
 
 	buf := make([]stream.Update, runBufSize)
