@@ -25,10 +25,25 @@
 // the run and the file see the identical updates) and replayed (-replay
 // FILE), including replaying with -record to re-encode an old trace.
 //
+// On live TCP, -hb INTERVAL arms failure detection: sites beacon
+// heartbeats and the coordinator declares a slot dead after -hb-miss
+// consecutive missed periods instead of aborting on its read error. Site
+// dials retry with exponential backoff up to -dial-timeout, so sites can
+// start before the coordinator listens. -kill STEP:SITE is the
+// crash-fault smoke: at update STEP the given site's process is killed
+// mid-stream; the run waits for the detector's verdict, keeps streaming
+// degraded (the victim's updates buffer locally), then dials a warm
+// replacement restored from a pre-kill snapshot into the dead slot,
+// replays the buffered updates, and exits nonzero unless the final
+// estimate is back inside ε:
+//
+//	varmon -n 20000 -hb 10ms -kill 8000:1
+//
 // Usage:
 //
 //	varmon [-k 4] [-eps 0.1] [-n 100000] [-stream randwalk|biased|monotone|sawtooth|zipf] [-seed 1]
 //	       [-queries SPECS] [-http ADDR] [-record FILE] [-replay FILE] [-net MODEL]
+//	       [-dial-timeout 2s] [-hb 0] [-hb-miss 3] [-kill STEP:SITE] [-takeover-after 0]
 package main
 
 import (
@@ -38,6 +53,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/query"
@@ -111,6 +127,11 @@ func main() {
 		netFlag  = flag.String("net", "", "run on the async fault simulator under this model (e.g. latency=8,jitter=2,drop=0.01,retrans=3) instead of live TCP")
 		queries  = flag.String("queries", "", "multi-query mode: ';'-separated query specs, e.g. 'det,eps=0.1;freq,eps=0.2,filter=even;rand,eps=0.05,at=50000'")
 		httpAddr = flag.String("http", "", "with -queries over TCP: serve live JSON status on this address (GET /status)")
+		dialTO   = flag.Duration("dial-timeout", 2*time.Second, "TCP site dial retry budget (exponential backoff with jitter)")
+		hb       = flag.Duration("hb", 0, "TCP failure detection: heartbeat interval (0 = off)")
+		hbMiss   = flag.Int("hb-miss", 3, "consecutive missed heartbeat periods before a slot is declared dead")
+		kill     = flag.String("kill", "", "crash-fault smoke (TCP single-query mode): kill site at 'STEP:SITE', e.g. 8000:1")
+		tkAfter  = flag.Duration("takeover-after", 0, "with -kill: extra degraded time between the death verdict and the warm takeover dial")
 	)
 	flag.Parse()
 
@@ -179,6 +200,10 @@ func main() {
 	if *httpAddr != "" && (*queries == "" || model != nil) {
 		fatalf("-http needs -queries over the live TCP runtime (drop -net)")
 	}
+	opts := tcpOpts{dialTimeout: *dialTO, hb: *hb, hbMiss: *hbMiss}
+	if *kill != "" && (*queries != "" || model != nil) {
+		fatalf("-kill needs the single-query live TCP runtime (drop -queries and -net)")
+	}
 	switch {
 	case *queries != "":
 		specs, err := query.ParseSpecs(*queries)
@@ -188,12 +213,15 @@ func main() {
 		if model != nil {
 			runQueriesAsync(st, *k, specs, every, *model, *seed)
 		} else {
-			runQueriesTCP(st, *k, specs, every, *httpAddr)
+			runQueriesTCP(st, *k, specs, every, *httpAddr, opts)
 		}
 	case model != nil:
 		runAsync(st, *k, *eps, every, *model, *seed)
+	case *kill != "":
+		step, site := parseKill(*kill, *k)
+		runTCPKill(st, *k, *eps, every, opts, step, site, *tkAfter)
 	default:
-		runTCP(st, *k, *eps, every)
+		runTCP(st, *k, *eps, every, opts)
 	}
 
 	if tw != nil {
@@ -216,7 +244,38 @@ func checkSite(u stream.Update, k int) {
 	}
 }
 
-func runTCP(st stream.Stream, k int, eps float64, every int64) {
+// tcpOpts carries the live-TCP runtime knobs from the flag set.
+type tcpOpts struct {
+	dialTimeout time.Duration
+	hb          time.Duration // 0: failure detection off
+	hbMiss      int
+}
+
+// arm wires failure detection onto a freshly built coordinator+site set.
+func (o tcpOpts) arm(coord *dist.Coordinator, sites []*dist.NetSite) {
+	if o.hb <= 0 {
+		return
+	}
+	coord.SetFailureDetection(o.hb, o.hbMiss)
+	for _, s := range sites {
+		s.StartHeartbeats(o.hb)
+	}
+}
+
+// parseKill resolves a -kill STEP:SITE argument.
+func parseKill(spec string, k int) (int64, int) {
+	var step int64
+	var site int
+	if _, err := fmt.Sscanf(spec, "%d:%d", &step, &site); err != nil {
+		fatalf("-kill wants STEP:SITE, got %q", spec)
+	}
+	if step < 1 || site < 0 || site >= k {
+		fatalf("-kill %q: need STEP >= 1 and SITE in [0, %d)", spec, k)
+	}
+	return step, site
+}
+
+func runTCP(st stream.Stream, k int, eps float64, every int64, opts tcpOpts) {
 	coordAlgo, siteAlgos := track.NewDeterministic(k, eps)
 	coord, err := dist.ListenCoordinator("127.0.0.1:0", k, coordAlgo)
 	if err != nil {
@@ -225,8 +284,9 @@ func runTCP(st stream.Stream, k int, eps float64, every int64) {
 	defer coord.Close()
 	fmt.Printf("coordinator listening on %s; %d sites connecting\n", coord.Addr(), k)
 
-	sites := dialSites(coord.Addr(), k, siteAlgos)
+	sites := dialSites(coord.Addr(), k, siteAlgos, opts.dialTimeout)
 	defer closeSites(sites)
+	opts.arm(coord, sites)
 
 	var f, steps int64
 	for {
@@ -255,6 +315,142 @@ func runTCP(st stream.Stream, k int, eps float64, every int64) {
 	if err := coord.Err(); err != nil {
 		fatalf("transport error: %v", err)
 	}
+}
+
+// runTCPKill is the crash-fault smoke: a real mid-stream process death on
+// live TCP, detector verdict, degraded streaming with the victim's updates
+// buffered locally, then a warm takeover restored from a pre-kill
+// snapshot. Exits nonzero if any leg fails or the final estimate misses ε.
+func runTCPKill(st stream.Stream, k int, eps float64, every int64, opts tcpOpts,
+	killStep int64, victim int, tkAfter time.Duration) {
+	if opts.hb <= 0 {
+		opts.hb = 25 * time.Millisecond // the smoke is pointless without a detector
+	}
+	coordAlgo, siteAlgos := track.NewDeterministic(k, eps)
+	coord, err := dist.ListenCoordinator("127.0.0.1:0", k, coordAlgo)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	defer coord.Close()
+	fmt.Printf("coordinator listening on %s; %d sites connecting; killing site %d at step %d\n",
+		coord.Addr(), k, victim, killStep)
+
+	sites := dialSites(coord.Addr(), k, siteAlgos, opts.dialTimeout)
+	defer closeSites(sites)
+	opts.arm(coord, sites)
+
+	var f, steps int64
+	var snap []byte
+	var backlog []stream.Update
+	var verdictAt time.Time
+	killed, deadSeen, tookOver := false, false, false
+	takeover := func() {
+		_, fresh := track.NewDeterministic(k, eps)
+		if err := track.RestoreSite(fresh[victim], snap); err != nil {
+			fatalf("restore: %v", err)
+		}
+		repl, err := dist.DialNetSiteRetry(coord.Addr(), victim, fresh[victim], opts.dialTimeout)
+		if err != nil {
+			fatalf("takeover dial: %v", err)
+		}
+		repl.StartHeartbeats(opts.hb)
+		repl.Inject(func(out dist.Outbox) {
+			fresh[victim].(dist.SiteTakeover).OnTakeover(out)
+		})
+		for _, u := range backlog {
+			repl.Update(u)
+		}
+		sites[victim] = repl
+		tookOver = true
+		fmt.Printf("t=%-10d warm takeover: slot %d re-dialed, snapshot restored, %d buffered updates replayed\n",
+			steps, victim, len(backlog))
+	}
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		checkSite(u, k)
+		f += u.Delta
+		steps++
+		if !killed && steps == killStep {
+			// Quiesce the victim's connection, checkpoint it under its
+			// lock, then kill the process. Its share of the stream buffers
+			// locally (the durable queue a real deployment would hold).
+			if err := sites[victim].Barrier(); err != nil {
+				fatalf("pre-kill barrier: %v", err)
+			}
+			sites[victim].Inject(func(dist.Outbox) {
+				snap, err = track.SnapshotSite(siteAlgos[victim])
+			})
+			if err != nil {
+				fatalf("snapshot: %v", err)
+			}
+			sites[victim].Close()
+			killed = true
+			fmt.Printf("t=%-10d killed site %d (snapshot: %d bytes)\n", steps, victim, len(snap))
+		}
+		if killed && !tookOver {
+			if !deadSeen && coord.SiteDead(victim) {
+				deadSeen = true
+				verdictAt = time.Now()
+				fmt.Printf("t=%-10d detector verdict: site %d dead (heartbeat misses: %d)\n",
+					steps, victim, coord.Stats().HeartbeatMisses)
+			}
+			if deadSeen && time.Since(verdictAt) >= tkAfter {
+				takeover()
+			}
+		}
+		if killed && !tookOver && u.Site == victim {
+			backlog = append(backlog, u)
+			continue
+		}
+		sites[u.Site].Update(u)
+		if u.T%every == 0 {
+			est := coord.Estimate()
+			state := "healthy"
+			if killed && !tookOver {
+				state = "degraded"
+			}
+			fmt.Printf("t=%-10d f=%-10d f̂=%-10d rel.err=%-8.5f msgs=%-8d [%s]\n",
+				u.T, f, est, relErr(f, est), coord.Stats().Total(), state)
+		}
+	}
+	if !killed {
+		fatalf("stream ended before -kill step %d (only %d updates)", killStep, steps)
+	}
+	// A short stream can end mid-outage; the smoke still owes a takeover.
+	if !tookOver {
+		deadline := time.Now().Add(10 * time.Second)
+		for !coord.SiteDead(victim) {
+			if time.Now().After(deadline) {
+				fatalf("detector never declared site %d dead", victim)
+			}
+			time.Sleep(opts.hb)
+		}
+		takeover()
+	}
+
+	barrierQuiesce(coord, sites, "final barrier")
+	stats := coord.Stats()
+	var hbSent int64
+	for _, s := range sites {
+		hbSent += s.Stats().HeartbeatsSent
+	}
+	est := coord.Estimate()
+	fmt.Printf("\nfinal: f=%d f̂=%d rel.err=%.5f | messages=%d heartbeats sent/recv=%d/%d misses=%d takeovers=%d\n",
+		f, est, relErr(f, est), stats.Total(),
+		hbSent, stats.HeartbeatsRecv, stats.HeartbeatMisses, stats.Takeovers)
+	if err := coord.Err(); err != nil {
+		fatalf("transport error: %v", err)
+	}
+	if stats.Takeovers != 1 {
+		fatalf("expected exactly one takeover, saw %d", stats.Takeovers)
+	}
+	if relErr(f, est) > eps+1e-9 {
+		fatalf("estimate %d vs exact %d misses ε=%g after takeover", est, f, eps)
+	}
+	fmt.Println("kill-and-takeover smoke passed")
 }
 
 func runAsync(st stream.Stream, k int, eps float64, every int64, model dist.NetModel, seed uint64) {
@@ -399,10 +595,10 @@ func (p *queryPlan) report(eng *query.Coord, ex *exactMonitor, class []dist.Stat
 	}
 }
 
-func dialSites(addr string, k int, siteAlgos []dist.SiteAlgo) []*dist.NetSite {
+func dialSites(addr string, k int, siteAlgos []dist.SiteAlgo, timeout time.Duration) []*dist.NetSite {
 	sites := make([]*dist.NetSite, k)
 	for i := 0; i < k; i++ {
-		s, err := dist.DialNetSite(addr, i, siteAlgos[i])
+		s, err := dist.DialNetSiteRetry(addr, i, siteAlgos[i], timeout)
 		if err != nil {
 			fatalf("dial site %d: %v", i, err)
 		}
@@ -440,8 +636,10 @@ func barrierQuiesce(coord *dist.Coordinator, sites []*dist.NetSite, context stri
 				fatalf("%s: %v", context, err)
 			}
 		}
+		// Heartbeat beacons keep the liveness counters moving forever;
+		// quiescence means the protocol counters stopped.
 		st := coord.Stats()
-		if st == prev {
+		if st.WithoutLiveness() == prev.WithoutLiveness() {
 			return
 		}
 		prev = st
@@ -456,7 +654,7 @@ type liveStatus struct {
 	PerQuery []dist.Stats   `json:"per_query"`
 }
 
-func runQueriesTCP(st stream.Stream, k int, specs []query.Spec, every int64, httpAddr string) {
+func runQueriesTCP(st stream.Stream, k int, specs []query.Spec, every int64, httpAddr string, opts tcpOpts) {
 	plan, initial := newQueryPlan(specs)
 	eng, siteAlgos, err := query.New(k, initial)
 	if err != nil {
@@ -471,8 +669,9 @@ func runQueriesTCP(st stream.Stream, k int, specs []query.Spec, every int64, htt
 	fmt.Printf("multi-query coordinator on %s; %d sites, %d queries (%d pending attach)\n",
 		coord.Addr(), k, len(specs), len(specs)-len(initial))
 
-	sites := dialSites(coord.Addr(), k, siteAlgos)
+	sites := dialSites(coord.Addr(), k, siteAlgos, opts.dialTimeout)
 	defer closeSites(sites)
+	opts.arm(coord, sites)
 
 	if httpAddr != "" {
 		mux := http.NewServeMux()

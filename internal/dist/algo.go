@@ -48,6 +48,35 @@ type CoordRejoiner interface {
 	OnSiteRejoin(site int, out Outbox)
 }
 
+// CoordFailureHandler is an optional CoordAlgo extension for runtimes with
+// failure detection: OnSiteDead fires when the detector declares a site's
+// slot dead (heartbeat miss threshold on TCP, virtual-clock timeout on
+// AsyncSim). Implementations should degrade gracefully — excuse the dead
+// site from open collections and keep serving estimates — rather than wedge
+// waiting for a reply that will never come.
+type CoordFailureHandler interface {
+	OnSiteDead(site int, out Outbox)
+}
+
+// SiteTakeover is an optional SiteAlgo extension for replacement processes:
+// OnTakeover fires once when the site is spliced into a dead slot, letting
+// it announce itself to the coordinator (KindTakeover) and negotiate what
+// snapshot-era state is still owed. It fires on warm (snapshot-restored)
+// and cold (fresh) replacements alike.
+type SiteTakeover interface {
+	OnTakeover(out Outbox)
+}
+
+// CoordTakeoverHandler is an optional CoordAlgo extension: OnSiteTakeover
+// fires when the runtime splices a replacement into site's dead slot —
+// before any protocol message from the replacement arrives, mirroring the
+// TCP transport, where the re-dial handshake precedes all frames. It is the
+// hook for control-plane re-announcement (e.g. re-sending KindAttach for
+// queries registered after the replacement's snapshot was taken).
+type CoordTakeoverHandler interface {
+	OnSiteTakeover(site int, out Outbox)
+}
+
 // BatchSiteAlgo is an optional fast path for SiteAlgo. The runtime hands a
 // batch-capable site a run of consecutive updates all destined to it, so
 // the site pays one virtual call — and one load of its thresholds and

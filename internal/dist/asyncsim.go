@@ -60,6 +60,23 @@ type AsyncSim struct {
 	linkAt []int64
 	down   []bool
 
+	// Crash-fault state. crashed marks slots whose process died; epoch is
+	// the slot incarnation stamped onto every delivery (see event.epoch);
+	// backlog is the durable local update queue of a dead slot, replayed
+	// into the replacement at takeover; replacement holds the algorithm a
+	// ScheduleTakeover will splice in. suspected, lastSeen, and hbRun are
+	// the failure detector's verdict, last-heartbeat tick, and consecutive
+	// miss run per site; closing stops the self-rescheduling heartbeat
+	// chains so Flush terminates.
+	crashed     []bool
+	epoch       []uint32
+	backlog     [][]stream.Update
+	replacement []SiteAlgo
+	suspected   []bool
+	lastSeen    []int64
+	hbRun       []int
+	closing     bool
+
 	coordOut *asyncOutbox
 	siteOut  []*asyncOutbox
 
@@ -86,12 +103,21 @@ const (
 	evDeliver eventKind = iota
 	evDown
 	evUp
+	evCrash    // crash-fault the slot (to)
+	evTakeover // splice a replacement into the slot (to)
+	evHeartbeat
+	evHbArrive
+	evHbCheck
 )
 
 // event is one scheduled occurrence. For evDeliver, from/to name the link
 // endpoint nodes (CoordID or a site index), sent is the original send time
-// (stable across retransmissions — staleness measures send → effect), and
-// attempt counts transmissions so far.
+// (stable across retransmissions — staleness measures send → effect),
+// attempt counts transmissions so far, and epoch is the slot incarnation
+// the message belongs to: a crash or takeover of the site endpoint
+// increments the slot's epoch, and a delivery whose epoch is stale is
+// counted Dropped — a replacement never sees its predecessor's in-flight
+// traffic, and a dead slot contributes no staleness.
 type event struct {
 	at      int64
 	seq     uint64
@@ -99,6 +125,7 @@ type event struct {
 	from    int32
 	to      int32
 	attempt int
+	epoch   uint32
 	sent    int64
 	msg     Msg
 }
@@ -178,12 +205,19 @@ func NewAsyncSim(coord CoordAlgo, sites []SiteAlgo, model NetModel, seed uint64)
 	}
 	model.validate()
 	s := &AsyncSim{
-		coord:  coord,
-		sites:  sites,
-		model:  model,
-		src:    rng.New(seed),
-		linkAt: make([]int64, 2*len(sites)),
-		down:   make([]bool, len(sites)),
+		coord:       coord,
+		sites:       sites,
+		model:       model,
+		src:         rng.New(seed),
+		linkAt:      make([]int64, 2*len(sites)),
+		down:        make([]bool, len(sites)),
+		crashed:     make([]bool, len(sites)),
+		epoch:       make([]uint32, len(sites)),
+		backlog:     make([][]stream.Update, len(sites)),
+		replacement: make([]SiteAlgo, len(sites)),
+		suspected:   make([]bool, len(sites)),
+		lastSeen:    make([]int64, len(sites)),
+		hbRun:       make([]int, len(sites)),
 	}
 	s.coordOut = &asyncOutbox{s: s, from: CoordID}
 	s.siteOut = make([]*asyncOutbox, len(sites))
@@ -193,6 +227,20 @@ func NewAsyncSim(coord CoordAlgo, sites []SiteAlgo, model NetModel, seed uint64)
 		if b, ok := sites[i].(BatchSiteAlgo); ok {
 			s.batchSites[i] = b
 		}
+	}
+	if model.HeartbeatEvery > 0 {
+		for i := range sites {
+			e := event{at: model.HeartbeatEvery, kind: evHeartbeat, to: int32(i)}
+			s.pushEvent(&e)
+		}
+		e := event{at: model.HeartbeatEvery, kind: evHbCheck}
+		s.pushEvent(&e)
+	}
+	if model.CrashAt > 0 {
+		if model.CrashSite >= len(sites) {
+			panic("dist: NetModel.CrashSite out of range")
+		}
+		s.ScheduleCrash(model.CrashSite, model.CrashAt)
 	}
 	return s
 }
@@ -208,7 +256,7 @@ func (s *AsyncSim) Step(u stream.Update) {
 		s.now = arrival
 	}
 	s.curT = u.T
-	s.sites[u.Site].OnUpdate(u, s.siteOut[u.Site])
+	s.ingest(u)
 	for s.heap.len() > 0 && s.heap.ev[0].at <= s.now {
 		e := s.heap.pop()
 		s.process(&e)
@@ -247,13 +295,24 @@ func (s *AsyncSim) stepOne(u stream.Update, arrival int64) bool {
 		s.now = arrival
 	}
 	s.curT = u.T
-	s.sites[u.Site].OnUpdate(u, s.siteOut[u.Site])
+	s.ingest(u)
 	for s.heap.len() > 0 && s.heap.ev[0].at <= s.now {
 		e := s.heap.pop()
 		s.process(&e)
 		active = true
 	}
 	return active
+}
+
+// ingest hands one arrived update to its site — or, when the slot is
+// crashed, appends it to the slot's durable local queue for replay at
+// takeover (the site process is dead; its data source is not).
+func (s *AsyncSim) ingest(u stream.Update) {
+	if s.crashed[u.Site] {
+		s.backlog[u.Site] = append(s.backlog[u.Site], u)
+		return
+	}
+	s.sites[u.Site].OnUpdate(u, s.siteOut[u.Site])
 }
 
 // StepBatch feeds a prefix of us (a stream slice with nondecreasing T) to
@@ -277,7 +336,8 @@ func (s *AsyncSim) StepBatch(us []stream.Update) (int, bool) {
 	gap := s.model.Gap()
 	arrival := u.T * gap
 	b := s.batchSites[u.Site]
-	if b == nil || (s.heap.len() > 0 && s.heap.ev[0].at < arrival) {
+	if b == nil || s.crashed[u.Site] ||
+		(s.heap.len() > 0 && s.heap.ev[0].at < arrival) {
 		return 1, s.stepOne(u, arrival)
 	}
 	jmax := maxSiteRun
@@ -350,8 +410,11 @@ func (s *AsyncSim) RunBatch(st stream.Stream, buf []stream.Update) int64 {
 
 // Flush runs the event loop to exhaustion — every in-flight delivery,
 // retransmission, and scheduled churn transition — advancing the virtual
-// clock as it goes. After Flush the network is quiescent.
+// clock as it goes. After Flush the network is quiescent. Flush retires
+// the failure detector: the self-rescheduling heartbeat chains stop so the
+// loop terminates, and they do not restart if more updates are driven.
 func (s *AsyncSim) Flush() {
+	s.closing = true
 	for s.heap.len() > 0 {
 		e := s.heap.pop()
 		if e.at > s.now {
@@ -432,10 +495,21 @@ func (s *AsyncSim) pushEvent(e *event) {
 	s.heap.push(e)
 }
 
-// send schedules one transmission of a freshly emitted message.
+// send schedules one transmission of a freshly emitted message, stamped
+// with the current incarnation of its site endpoint's slot.
 func (s *AsyncSim) send(from, to int32, m Msg) {
-	e := event{kind: evDeliver, from: from, to: to, sent: s.now, msg: m}
+	e := event{kind: evDeliver, from: from, to: to, sent: s.now, msg: m,
+		epoch: s.epoch[s.siteEnd(from, to)]}
 	s.transmit(&e, s.now)
+}
+
+// siteEnd returns the site endpoint of a delivery (every link has exactly
+// one: the coordinator is the other end).
+func (s *AsyncSim) siteEnd(from, to int32) int32 {
+	if to == CoordID {
+		return from
+	}
+	return to
 }
 
 // transmit schedules a delivery attempt of e departing at tick depart,
@@ -487,11 +561,41 @@ func (s *AsyncSim) process(e *event) {
 	case evUp:
 		s.down[e.to] = false
 		site := int(e.to)
+		if s.crashed[site] {
+			return
+		}
 		if c, ok := s.coord.(CoordRejoiner); ok {
 			c.OnSiteRejoin(site, s.coordOut)
 		}
 		if r, ok := s.sites[site].(SiteRejoiner); ok {
 			r.OnRejoin(s.siteOut[site])
+		}
+		return
+	case evCrash:
+		s.processCrash(e)
+		return
+	case evTakeover:
+		s.processTakeover(e)
+		return
+	case evHeartbeat:
+		s.processHeartbeat(e)
+		return
+	case evHbArrive:
+		s.processHbArrive(e)
+		return
+	case evHbCheck:
+		s.processHbCheck(e)
+		return
+	}
+
+	// A delivery crossing a crashed slot, or belonging to a previous
+	// incarnation of its slot (sent before a crash or a takeover), is lost
+	// for good with no retransmission and no staleness: the process that
+	// could have consumed or resent it no longer exists.
+	if end := s.siteEnd(e.from, e.to); s.crashed[end] || s.epoch[end] != e.epoch {
+		s.stats.Dropped++
+		if s.classifier != nil {
+			s.classSlotOf(e).Dropped++
 		}
 		return
 	}

@@ -1,0 +1,173 @@
+package dist
+
+// Crash faults and warm takeover on AsyncSim.
+//
+// A crash (ScheduleCrash, or NetModel.CrashAt) kills a site's process at a
+// virtual tick: in-flight messages to and from it are lost, its local
+// stream updates accumulate in a durable queue, and — unlike the
+// disconnect/rejoin churn of ScheduleDown/ScheduleUp — the same process
+// never comes back. The slot stays dead until ScheduleTakeover splices a
+// replacement in, at which point the runtime fires the control-plane hooks
+// (CoordTakeoverHandler, SiteTakeover), replays the queued updates, and
+// restarts the slot's heartbeat chain. Every delivery is stamped with its
+// slot's incarnation (event.epoch); crash and takeover each increment it,
+// so the replacement's first inbound message is the coordinator's takeover
+// acknowledgement — never a stale delivery meant for its predecessor.
+//
+// Failure detection (NetModel.HeartbeatEvery > 0) is heartbeat-driven on
+// the same virtual clock: each site beacons every HeartbeatEvery ticks and
+// a coordinator-side detector checks on the same cadence, declaring a site
+// dead after NetModel.HeartbeatMiss consecutive overdue intervals and
+// firing the coordinator's CoordFailureHandler.OnSiteDead hook. Heartbeats
+// are transport-internal: they draw no fault-model randomness, hold no
+// link-FIFO floor, and touch no message Stats — a crash-free run with
+// heartbeats enabled is byte-identical to one without, even under faulty
+// models. They fail to arrive only when the slot is partitioned or dead.
+
+// ScheduleCrash crash-faults site at virtual tick at. Crashing an
+// already-crashed slot is a no-op.
+func (s *AsyncSim) ScheduleCrash(site int, at int64) {
+	e := event{at: at, kind: evCrash, to: int32(site)}
+	s.pushEvent(&e)
+}
+
+// ScheduleTakeover splices algo into site's slot at virtual tick at,
+// provided the slot is crashed by then (otherwise the event is a no-op).
+// At most one takeover per site may be outstanding; scheduling another
+// replaces the pending algorithm.
+func (s *AsyncSim) ScheduleTakeover(site int, at int64, algo SiteAlgo) {
+	if algo == nil {
+		panic("dist: ScheduleTakeover needs a site algorithm")
+	}
+	s.replacement[site] = algo
+	e := event{at: at, kind: evTakeover, to: int32(site)}
+	s.pushEvent(&e)
+}
+
+// ReplaceSite swaps site's algorithm in place, with no protocol traffic, no
+// epoch change, and no crash required. It exists for the snapshot property
+// tests: the caller guarantees the replacement's state is identical to the
+// old algorithm's (track.RestoreSite), so the swap is unobservable.
+func (s *AsyncSim) ReplaceSite(site int, algo SiteAlgo) {
+	s.sites[site] = algo
+	if b, ok := algo.(BatchSiteAlgo); ok {
+		s.batchSites[site] = b
+	} else {
+		s.batchSites[site] = nil
+	}
+}
+
+// Crashed reports whether site's slot is currently crash-faulted.
+func (s *AsyncSim) Crashed(site int) bool { return s.crashed[site] }
+
+// Suspected reports the failure detector's current verdict on site.
+func (s *AsyncSim) Suspected(site int) bool { return s.suspected[site] }
+
+// LastSeen returns the virtual tick of the last heartbeat received from
+// site (0 if none yet).
+func (s *AsyncSim) LastSeen(site int) int64 { return s.lastSeen[site] }
+
+// BacklogLen returns the number of updates queued for a dead slot.
+func (s *AsyncSim) BacklogLen(site int) int { return len(s.backlog[site]) }
+
+func (s *AsyncSim) processCrash(e *event) {
+	site := int(e.to)
+	if s.crashed[site] {
+		return
+	}
+	s.crashed[site] = true
+	s.epoch[site]++
+}
+
+func (s *AsyncSim) processTakeover(e *event) {
+	site := int(e.to)
+	algo := s.replacement[site]
+	s.replacement[site] = nil
+	if algo == nil || !s.crashed[site] {
+		return
+	}
+	s.crashed[site] = false
+	s.suspected[site] = false
+	s.hbRun[site] = 0
+	s.lastSeen[site] = e.at
+	s.epoch[site]++
+	s.sites[site] = algo
+	if b, ok := algo.(BatchSiteAlgo); ok {
+		s.batchSites[site] = b
+	} else {
+		s.batchSites[site] = nil
+	}
+	s.stats.Takeovers++
+	// Control-plane registration first (on TCP the re-dial handshake
+	// precedes all frames), then the replacement's own announcement, then
+	// the replay of the durable local queue.
+	if h, ok := s.coord.(CoordTakeoverHandler); ok {
+		h.OnSiteTakeover(site, s.coordOut)
+	}
+	if t, ok := algo.(SiteTakeover); ok {
+		t.OnTakeover(s.siteOut[site])
+	}
+	buf := s.backlog[site]
+	s.backlog[site] = nil
+	for i := range buf {
+		algo.OnUpdate(buf[i], s.siteOut[site])
+	}
+	if s.model.HeartbeatEvery > 0 && !s.closing {
+		hb := event{at: e.at + s.model.HeartbeatEvery, kind: evHeartbeat, to: e.to}
+		s.pushEvent(&hb)
+	}
+}
+
+func (s *AsyncSim) processHeartbeat(e *event) {
+	site := int(e.to)
+	if s.closing || s.crashed[site] {
+		return // the chain stops; takeover restarts it
+	}
+	s.stats.HeartbeatsSent++
+	if !s.down[site] {
+		a := event{at: e.at + s.model.Latency, kind: evHbArrive, to: e.to,
+			epoch: s.epoch[site]}
+		s.pushEvent(&a)
+	}
+	next := event{at: e.at + s.model.HeartbeatEvery, kind: evHeartbeat, to: e.to}
+	s.pushEvent(&next)
+}
+
+func (s *AsyncSim) processHbArrive(e *event) {
+	site := int(e.to)
+	if s.crashed[site] || s.epoch[site] != e.epoch || s.down[site] {
+		return // lost: the incarnation died, or the partition ate it
+	}
+	s.stats.HeartbeatsRecv++
+	s.lastSeen[site] = e.at
+}
+
+func (s *AsyncSim) processHbCheck(e *event) {
+	if s.closing {
+		return
+	}
+	every := s.model.HeartbeatEvery
+	// Overdue means more than one full beacon interval beyond the expected
+	// arrival cadence — tolerant of the one beacon legitimately in flight.
+	slack := 2*every + s.model.Latency
+	miss := s.model.hbMiss()
+	for i := range s.sites {
+		if s.suspected[i] {
+			continue
+		}
+		if e.at-s.lastSeen[i] > slack {
+			s.hbRun[i]++
+			s.stats.HeartbeatMisses++
+			if s.hbRun[i] >= miss {
+				s.suspected[i] = true
+				if h, ok := s.coord.(CoordFailureHandler); ok {
+					h.OnSiteDead(i, s.coordOut)
+				}
+			}
+		} else {
+			s.hbRun[i] = 0
+		}
+	}
+	next := event{at: e.at + every, kind: evHbCheck}
+	s.pushEvent(&next)
+}

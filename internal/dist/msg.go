@@ -47,6 +47,14 @@ const (
 	// KindAttach. Messages for a detached query still in flight are
 	// discarded by the demultiplexer on either side.
 	KindDetach
+	// KindTakeover splices a replacement process into a dead site's slot.
+	// Site-to-coordinator it is the announcement: Site is the slot, Item the
+	// snapshot's integrity hash, and A the snapshot's counted-replies-sent
+	// watermark. Coordinator-to-site it is the acknowledgement: Item echoes
+	// the hash and A carries the coordinator's counted-replies-received
+	// watermark for the slot, which decides whether snapshot-era uncollected
+	// state is merged or discarded (see track.BlockSite).
+	KindTakeover
 )
 
 // Transport-internal kinds. Frames with these kinds never reach algorithms
@@ -56,6 +64,7 @@ const (
 	kindHello      Kind = 0xF0 // site handshake; Site carries the id
 	kindBarrier    Kind = 0xF1 // flush request; A carries a sequence number
 	kindBarrierAck Kind = 0xF2 // flush acknowledgement; A echoes the sequence
+	kindHeartbeat  Kind = 0xF3 // site liveness beacon; Site carries the id
 )
 
 // CoordID identifies the coordinator, both as a message source (Msg.Site

@@ -139,6 +139,19 @@ type Coordinator struct {
 	err          error
 	closed       bool
 
+	// Failure detection (SetFailureDetection): a checker goroutine declares
+	// a site dead after fdMiss consecutive overdue heartbeat intervals and
+	// fires the algorithm's CoordFailureHandler hook. While enabled, losing
+	// a site connection is a tolerated fault rather than a transport error:
+	// frames to an unconnected slot count as Dropped, and a re-dial for a
+	// dead slot is a takeover. fdStop is non-nil exactly when enabled.
+	fdEvery  time.Duration
+	fdMiss   int
+	fdStop   chan struct{}
+	lastSeen []time.Time
+	hbRun    []int
+	dead     []bool
+
 	wg sync.WaitGroup
 }
 
@@ -190,13 +203,44 @@ func (c *Coordinator) serve(conn net.Conn) {
 	}
 	id := int(hello.Site)
 	c.mu.Lock()
-	if id < 0 || id >= c.k || c.conns[id] != nil {
+	if id < 0 || id >= c.k {
 		c.mu.Unlock()
 		conn.Close()
 		return
 	}
+	if c.conns[id] != nil {
+		if c.fdStop == nil || !c.dead[id] {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		// Re-dial for a dead slot whose broken connection the OS has not
+		// reported yet: retire the old writer off-lock and take the slot.
+		old := c.conns[id]
+		c.conns[id] = nil
+		go func() {
+			old.close(time.Now().Add(closeDrainTimeout))
+			old.conn.Close()
+		}()
+	}
 	w := newConnWriter(conn)
 	c.conns[id] = w
+	if c.fdStop != nil {
+		c.lastSeen[id] = time.Now()
+		if c.dead[id] {
+			// A replacement process took over the dead slot. Clear the
+			// death verdict and run the control-plane hook before any of
+			// the new connection's frames are read, so the hook's output
+			// (attach re-announcements) is queued ahead of the replies the
+			// replacement's own announcement will trigger.
+			c.dead[id] = false
+			c.hbRun[id] = 0
+			c.stats.Takeovers++
+			if h, ok := c.algo.(CoordTakeoverHandler); ok {
+				h.OnSiteTakeover(id, coordOutbox{c})
+			}
+		}
+	}
 	c.mu.Unlock()
 	c.wg.Add(1)
 	go func() {
@@ -209,18 +253,31 @@ func (c *Coordinator) serve(conn net.Conn) {
 		if err != nil {
 			// Unregister so later traffic to this site surfaces as a
 			// "message to unconnected site" error instead of being
-			// silently discarded while still counted in Stats.
-			c.fail(err)
-			w.close(time.Now().Add(closeDrainTimeout))
+			// silently discarded while still counted in Stats. Under
+			// failure detection a lost site connection is the fault being
+			// tolerated, not a transport error — the detector decides
+			// whether the site is dead, and writes to the empty slot count
+			// as Dropped.
 			c.mu.Lock()
+			if c.fdStop == nil {
+				c.failLocked(err)
+			}
 			if c.conns[id] == w {
 				c.conns[id] = nil
 			}
 			c.mu.Unlock()
+			w.close(time.Now().Add(closeDrainTimeout))
 			conn.Close()
 			return
 		}
 		switch m.Kind {
+		case kindHeartbeat:
+			c.mu.Lock()
+			c.stats.HeartbeatsRecv++
+			if c.fdStop != nil {
+				c.lastSeen[id] = time.Now()
+			}
+			c.mu.Unlock()
 		case kindBarrier:
 			// This goroutine already enqueued (under c.mu, in arrival
 			// order) everything triggered by this site's earlier frames,
@@ -262,6 +319,17 @@ func (c *Coordinator) failLocked(err error) {
 // writer preserves that order on the wire.
 func (c *Coordinator) writeLocked(site int, m Msg) {
 	if site < 0 || site >= c.k || c.conns[site] == nil {
+		if site >= 0 && site < c.k && c.fdStop != nil {
+			// Tolerated fault: the slot is dead (or mid-takeover) and the
+			// message is honestly lost. Account it so the degradation is
+			// visible, per class too — attribution must keep summing.
+			c.stats.Dropped++
+			if c.classifier != nil {
+				c.classScratch = m
+				classSlot(&c.classStats, c.classifier.Class(&c.classScratch)).Dropped++
+			}
+			return
+		}
 		c.failLocked(fmt.Errorf("dist: message to unconnected site %d", site))
 		return
 	}
@@ -338,6 +406,95 @@ func (c *Coordinator) Inject(fn func(Outbox)) {
 	c.mu.Unlock()
 }
 
+// SetFailureDetection turns on heartbeat-driven failure detection: sites
+// beacon (NetSite.StartHeartbeats) every `every`, and a checker declares a
+// site dead after `miss` consecutive overdue intervals (≤ 0 defaults to 3),
+// firing the algorithm's CoordFailureHandler hook. Call it before sites
+// dial; calling it twice or after Close is a no-op.
+func (c *Coordinator) SetFailureDetection(every time.Duration, miss int) {
+	if every <= 0 {
+		every = 50 * time.Millisecond
+	}
+	if miss <= 0 {
+		miss = 3
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fdStop != nil || c.closed {
+		return
+	}
+	c.fdEvery, c.fdMiss = every, miss
+	c.fdStop = make(chan struct{})
+	now := time.Now()
+	c.lastSeen = make([]time.Time, c.k)
+	for i := range c.lastSeen {
+		c.lastSeen[i] = now
+	}
+	c.hbRun = make([]int, c.k)
+	c.dead = make([]bool, c.k)
+	c.wg.Add(1)
+	go c.checkLoop()
+}
+
+// checkLoop is the failure detector: overdue means more than two beacon
+// intervals since the last heartbeat (tolerant of the one legitimately in
+// flight); fdMiss consecutive overdue checks declare the site dead.
+func (c *Coordinator) checkLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.fdEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.fdStop:
+			return
+		case now := <-t.C:
+			c.mu.Lock()
+			if c.closed {
+				c.mu.Unlock()
+				return
+			}
+			slack := 2 * c.fdEvery
+			for i := 0; i < c.k; i++ {
+				if c.dead[i] {
+					continue
+				}
+				if now.Sub(c.lastSeen[i]) > slack {
+					c.hbRun[i]++
+					c.stats.HeartbeatMisses++
+					if c.hbRun[i] >= c.fdMiss {
+						c.dead[i] = true
+						if h, ok := c.algo.(CoordFailureHandler); ok {
+							h.OnSiteDead(i, coordOutbox{c})
+						}
+					}
+				} else {
+					c.hbRun[i] = 0
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// SiteDead reports the failure detector's current verdict on site (always
+// false without SetFailureDetection).
+func (c *Coordinator) SiteDead(site int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead != nil && site >= 0 && site < c.k && c.dead[site]
+}
+
+// SiteLastSeen returns when site's last heartbeat arrived (the zero time
+// without SetFailureDetection).
+func (c *Coordinator) SiteLastSeen(site int) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lastSeen == nil || site < 0 || site >= c.k {
+		return time.Time{}
+	}
+	return c.lastSeen[site]
+}
+
 // Err returns the first transport error, if any.
 func (c *Coordinator) Err() error {
 	c.mu.Lock()
@@ -357,7 +514,11 @@ func (c *Coordinator) Close() error {
 	c.closed = true
 	conns := append([]*connWriter(nil), c.conns...)
 	err := c.err
+	fdStop := c.fdStop
 	c.mu.Unlock()
+	if fdStop != nil {
+		close(fdStop)
+	}
 	c.ln.Close()
 	// One absolute deadline across all writers: each drain runs in its own
 	// goroutine, so waiting on them in turn still finishes by the deadline
@@ -393,7 +554,35 @@ type NetSite struct {
 	acked   int64
 	ackErr  error
 
+	hbStop chan struct{} // non-nil once StartHeartbeats ran
+
 	done chan struct{}
+}
+
+// DialNetSiteRetry is DialNetSite with exponential backoff and jitter,
+// retrying refused or failed dials until timeout. It is how a site (or a
+// takeover replacement) joins a coordinator that may not be listening yet —
+// the jitter keeps k sites restarted together from re-dialing in lockstep.
+func DialNetSiteRetry(addr string, id int, algo SiteAlgo, timeout time.Duration) (*NetSite, error) {
+	deadline := time.Now().Add(timeout)
+	backoff := 10 * time.Millisecond
+	for {
+		s, err := DialNetSite(addr, id, algo)
+		if err == nil {
+			return s, nil
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, fmt.Errorf("dist: dial %s for site %d: %w", addr, id, err)
+		}
+		// Jitter in [backoff/2, 3·backoff/2): wall-clock seeded, since the
+		// TCP path is not deterministic anyway.
+		j := time.Duration(time.Now().UnixNano()) % backoff
+		time.Sleep(backoff/2 + j)
+		backoff *= 2
+		if backoff > time.Second {
+			backoff = time.Second
+		}
+	}
 }
 
 // DialNetSite connects site id to the coordinator at addr and serves algo.
@@ -540,6 +729,57 @@ func (s *NetSite) Barrier() error {
 	return s.ackErr
 }
 
+// Inject runs fn with the site's outbox while holding the site lock — the
+// hook for site-initiated control traffic (a takeover announcement) and for
+// consistent reads of the site algorithm's state (snapshots). fn must not
+// block on the network.
+func (s *NetSite) Inject(fn func(Outbox)) {
+	s.mu.Lock()
+	fn(siteOutbox{s})
+	s.mu.Unlock()
+}
+
+// StartHeartbeats begins beaconing kindHeartbeat frames every `every` so
+// the coordinator's failure detector (SetFailureDetection, same interval)
+// sees this site as live. Heartbeats are transport-internal: they bypass
+// message Stats except the liveness counters. Stops at Close; calling
+// twice is a no-op.
+func (s *NetSite) StartHeartbeats(every time.Duration) {
+	if every <= 0 {
+		every = 50 * time.Millisecond
+	}
+	s.mu.Lock()
+	if s.hbStop != nil || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.hbStop = make(chan struct{})
+	stop := s.hbStop
+	s.mu.Unlock()
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-s.done:
+				return
+			case <-t.C:
+				s.mu.Lock()
+				if !s.closed && s.err == nil {
+					if err := writeFrame(s.conn, Msg{Kind: kindHeartbeat, Site: int32(s.id)}); err != nil {
+						s.err = err
+					} else {
+						s.stats.HeartbeatsSent++
+					}
+				}
+				s.mu.Unlock()
+			}
+		}
+	}()
+}
+
 // Stats returns this site's view of the traffic it sent and received.
 func (s *NetSite) Stats() Stats {
 	s.mu.Lock()
@@ -556,7 +796,12 @@ func (s *NetSite) Close() error {
 		return nil
 	}
 	s.closed = true
+	hbStop := s.hbStop
+	s.hbStop = nil
 	s.mu.Unlock()
+	if hbStop != nil {
+		close(hbStop)
+	}
 	s.conn.Close()
 	<-s.done
 	return nil

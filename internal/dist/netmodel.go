@@ -40,6 +40,26 @@ type NetModel struct {
 	// UpdateGap is the virtual time between consecutive stream updates;
 	// update T arrives at tick T·UpdateGap. 0 means 1.
 	UpdateGap int64
+
+	// HeartbeatEvery enables failure detection: every site emits a
+	// liveness beacon each HeartbeatEvery ticks and the coordinator-side
+	// detector checks on the same cadence. Heartbeats are transport-
+	// internal — they bypass the fault model (no jitter/reorder/drop RNG
+	// draws, no link-FIFO floors, no message Stats), so enabling them does
+	// not perturb a crash-free run; they only fail to arrive when the slot
+	// is partitioned or crashed. 0 disables detection.
+	HeartbeatEvery int64
+	// HeartbeatMiss is the miss threshold: a site is declared dead after
+	// this many consecutive check intervals without a heartbeat. 0 means
+	// the default 3.
+	HeartbeatMiss int
+	// CrashAt, when > 0, crash-faults site CrashSite at that virtual tick:
+	// the process dies — in-flight messages to and from it are lost, its
+	// local updates buffer in a durable queue, and the slot stays dead
+	// until a replacement is spliced in (ScheduleTakeover). Distinct from
+	// ScheduleDown, after which the same process rejoins as itself.
+	CrashAt   int64
+	CrashSite int
 }
 
 // Gap returns the effective update spacing (UpdateGap with its default
@@ -49,6 +69,14 @@ func (m NetModel) Gap() int64 {
 		return 1
 	}
 	return m.UpdateGap
+}
+
+// hbMiss returns the effective heartbeat miss threshold.
+func (m NetModel) hbMiss() int {
+	if m.HeartbeatMiss > 0 {
+		return m.HeartbeatMiss
+	}
+	return 3
 }
 
 // rto returns the effective retransmission timeout.
@@ -64,7 +92,8 @@ func (m NetModel) rto() int64 {
 // enforce one rule set.
 func (m NetModel) check() error {
 	if m.Latency < 0 || m.Jitter < 0 || m.Reorder < 0 || m.RTO < 0 ||
-		m.Retrans < 0 || m.UpdateGap < 0 {
+		m.Retrans < 0 || m.UpdateGap < 0 || m.HeartbeatEvery < 0 ||
+		m.HeartbeatMiss < 0 || m.CrashAt < 0 || m.CrashSite < 0 {
 		return fmt.Errorf("dist: NetModel durations and counts must be non-negative")
 	}
 	if m.Drop < 0 || m.Drop > 1 {
@@ -102,6 +131,16 @@ func (m NetModel) String() string {
 	if m.UpdateGap > 1 {
 		parts = append(parts, fmt.Sprintf("gap=%d", m.UpdateGap))
 	}
+	if m.HeartbeatEvery > 0 {
+		parts = append(parts, fmt.Sprintf("hb=%d", m.HeartbeatEvery))
+	}
+	if m.HeartbeatMiss > 0 {
+		parts = append(parts, fmt.Sprintf("hbmiss=%d", m.HeartbeatMiss))
+	}
+	if m.CrashAt > 0 {
+		parts = append(parts, fmt.Sprintf("crashat=%d", m.CrashAt))
+		parts = append(parts, fmt.Sprintf("crashsite=%d", m.CrashSite))
+	}
 	return strings.Join(parts, ",")
 }
 
@@ -109,6 +148,7 @@ func (m NetModel) String() string {
 var netModelKeys = map[string]bool{
 	"latency": true, "jitter": true, "reorder": true, "drop": true,
 	"rto": true, "retrans": true, "gap": true,
+	"hb": true, "hbmiss": true, "crashat": true, "crashsite": true,
 }
 
 // ParseNetModel parses the comma-separated key=value syntax shared by the
@@ -133,6 +173,10 @@ func ParseNetModel(s string) (NetModel, error) {
 			}
 		case "retrans":
 			m.Retrans, err = strconv.Atoi(v)
+		case "hbmiss":
+			m.HeartbeatMiss, err = strconv.Atoi(v)
+		case "crashsite":
+			m.CrashSite, err = strconv.Atoi(v)
 		default:
 			var n int64
 			n, err = strconv.ParseInt(v, 10, 64)
@@ -147,6 +191,10 @@ func ParseNetModel(s string) (NetModel, error) {
 				m.RTO = n
 			case "gap":
 				m.UpdateGap = n
+			case "hb":
+				m.HeartbeatEvery = n
+			case "crashat":
+				m.CrashAt = n
 			}
 		}
 		if err != nil {

@@ -259,6 +259,19 @@ func (s *Sim) RunBatch(st stream.Stream, buf []stream.Update) int64 {
 	}
 }
 
+// ReplaceSite swaps site's algorithm in place with no protocol traffic. It
+// exists for the snapshot property tests: the caller guarantees the
+// replacement's state is identical to the old algorithm's
+// (track.RestoreSite), so the swap is unobservable.
+func (s *Sim) ReplaceSite(site int, algo SiteAlgo) {
+	s.sites[site] = algo
+	if b, ok := algo.(BatchSiteAlgo); ok {
+		s.batchSites[site] = b
+	} else {
+		s.batchSites[site] = nil
+	}
+}
+
 // Estimate returns the coordinator's current estimate f̂.
 func (s *Sim) Estimate() int64 { return s.coord.Estimate() }
 

@@ -15,10 +15,11 @@ type Stats struct {
 	// O(log n + log f) bit model (varint encoding; see compactBits).
 	CompactBits int64
 
-	// The fault counters below are populated only by AsyncSim; Sim and the
-	// TCP transport deliver every message immediately, so they stay zero
-	// there — which is exactly what the zero-fault AsyncSim equivalence
-	// property requires.
+	// The fault counters below are populated by AsyncSim, and — for Dropped
+	// only — by the TCP transport when failure detection is enabled and a
+	// message is addressed to a dead slot. Sim delivers every message
+	// immediately, so they stay zero there — which is exactly what the
+	// zero-fault AsyncSim equivalence property requires.
 
 	// Dropped counts messages lost for good: every transmission attempt
 	// (1 + NetModel.Retrans of them) failed. Dropped messages appear in no
@@ -30,9 +31,41 @@ type Stats struct {
 	// StalenessSum and StalenessMax gauge estimate staleness: for each
 	// delivered message, the virtual ticks between its original send and
 	// its effect on Estimate() (its delivery). Retransmissions age a
-	// message; they never reset its send time.
+	// message; they never reset its send time. Messages addressed to a
+	// crashed slot or sent before its crash contribute to Dropped, never to
+	// staleness — a dead slot must not inflate StalenessMax.
 	StalenessSum int64
 	StalenessMax int64
+
+	// The liveness counters below are populated only when failure detection
+	// is enabled (NetModel.HeartbeatEvery on AsyncSim, SetFailureDetection
+	// on the TCP Coordinator). Heartbeats are transport-internal: they
+	// appear in no message, byte, or compact-bit counter, and they are
+	// aggregate-only — per-class tables never carry them, so the per-class
+	// exact-sum property is over the message counters above. Per-site
+	// last-seen ticks live on the runtime (AsyncSim.LastSeen,
+	// Coordinator.LastSeen), not here, so Stats stays comparable with ==.
+
+	// HeartbeatsSent counts heartbeat beacons emitted by sites.
+	HeartbeatsSent int64
+	// HeartbeatsRecv counts heartbeat beacons received by the coordinator.
+	HeartbeatsRecv int64
+	// HeartbeatMisses counts detector check intervals in which an expected
+	// heartbeat was overdue.
+	HeartbeatMisses int64
+	// Takeovers counts replacement sites spliced into dead slots.
+	Takeovers int64
+}
+
+// WithoutLiveness returns s with the liveness counters zeroed — the shape
+// compared by the crash-free anchor property (a run with heartbeats enabled
+// matches a heartbeat-free run on everything except the liveness counters).
+func (s Stats) WithoutLiveness() Stats {
+	s.HeartbeatsSent = 0
+	s.HeartbeatsRecv = 0
+	s.HeartbeatMisses = 0
+	s.Takeovers = 0
+	return s
 }
 
 // Total returns the message count over both directions.

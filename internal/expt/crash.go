@@ -1,0 +1,193 @@
+package expt
+
+import (
+	"repro/internal/dist"
+	"repro/internal/query"
+	"repro/internal/stream"
+	"repro/internal/track"
+)
+
+// Experiment E31: crash-fault site replacement. A Q = 2 engine (one
+// deterministic, one randomized query) runs over a zipf-skewed site
+// assignment; the heavy site is crashed and replaced four times, either
+// warm (each replacement restored from a snapshot taken one tick before
+// its crash) or naive (cold rebuilds). A crash-free baseline row separates
+// workload staleness from crash damage. The §3.1 partition protocol keeps
+// every site's uncollected in-block state within its share of the ε
+// budget, so ONE cold restart hides inside the guarantee — but the leak is
+// permanent (nothing ever re-reports the lost mass), so repeated cold
+// restarts accumulate a deficit that breaks ε, while warm replacements
+// leak nothing no matter how often the site dies.
+
+// e31Run holds the measurements of one multi-crash run.
+type e31Run struct {
+	detectAvg    float64 // crash tick → detector verdict, averaged over crashes
+	settleTicks  int64   // last takeover → last ε violation (0: none)
+	settleBlocks int64   // collection rounds consumed by that settling
+	settleMsgs   []int64 // per-query messages spent on it
+	tailMaxErr   float64 // max rel err of the det query after the last takeover
+	tailViol     int64   // det-query steps outside ε after the last takeover
+	tailSteps    int64
+	dropped      int64
+	takeovers    int64
+	finalOK0     bool // det query inside ε at the end
+	finalOK1     bool // rand query inside ε at the end
+}
+
+// e31Drive runs one cell. mode is "none" (crash-free baseline), "warm", or
+// "naive". Crashes hit the skewed assignment's heavy site at 30%, 50%,
+// 70%, and 85% of the stream; each replacement dials in 8 heartbeat
+// periods after its crash, long enough for the detector's verdict to land
+// first. The tail window (settle/viol/max-err columns) starts at the last
+// takeover tick in every mode, so the baseline row measures the same
+// suffix.
+func e31Drive(ups []stream.Update, k int, eps float64, mode string,
+	model dist.NetModel, seed uint64) e31Run {
+	const target = 0 // the skewed assignment's heavy site
+	specs := []query.Spec{
+		{Algo: "det", Eps: eps},
+		{Algo: "rand", Eps: eps, Seed: seed + 31},
+	}
+	eng, esites, err := query.New(k, specs)
+	if err != nil {
+		panic(err)
+	}
+	sim := dist.NewAsyncSim(eng, esites, model, seed)
+	sim.SetClassifier(eng)
+	bc := eng.BlockCoordFor(0)
+
+	n := len(ups)
+	crashAt := []int{3 * n / 10, n / 2, 7 * n / 10, 17 * n / 20}
+	res := e31Run{settleMsgs: make([]int64, len(specs))}
+	cur := esites[target] // the slot's current (live) site algorithm
+	var f, crashTick, lastTk, blocksAtTk int64
+	var detectSum, detectN int64
+	msgsAtTk := make([]int64, len(specs))
+	cyc, suspected, tkSeen := 0, true, false
+	for i, u := range ups {
+		f += u.Delta
+		sim.Step(u)
+		if cyc < len(crashAt) && i == crashAt[cyc] {
+			crashTick = sim.Now() + 1
+			tk := crashTick + 8*model.HeartbeatEvery
+			if mode != "none" {
+				fresh := eng.RebuildSite(target)
+				if mode == "warm" {
+					snap, err := track.SnapshotSite(cur)
+					if err != nil {
+						panic(err)
+					}
+					if err := track.RestoreSite(fresh, snap); err != nil {
+						panic(err)
+					}
+				}
+				sim.ScheduleCrash(target, crashTick)
+				sim.ScheduleTakeover(target, tk, fresh)
+				cur = fresh
+				suspected = false
+			}
+			if cyc == len(crashAt)-1 {
+				lastTk = tk
+			}
+			cyc++
+			continue
+		}
+		if !suspected && sim.Suspected(target) {
+			suspected = true
+			detectSum += sim.Now() - crashTick
+			detectN++
+		}
+		if lastTk == 0 || sim.Now() < lastTk {
+			continue
+		}
+		if !tkSeen {
+			tkSeen = true
+			blocksAtTk = bc.Blocks()
+			for qid, cs := range sim.ClassStats() {
+				if qid < len(msgsAtTk) {
+					msgsAtTk[qid] = cs.Total()
+				}
+			}
+		}
+		est, _ := eng.EstimateQuery(0)
+		res.tailSteps++
+		if rel := float64(absDiff(f, est)) / absF(f); absF(f) > 0 && rel > res.tailMaxErr {
+			res.tailMaxErr = rel
+		}
+		if float64(absDiff(f, est)) > eps*absF(f)+1e-9 {
+			res.tailViol++
+			res.settleTicks = sim.Now() - lastTk
+			res.settleBlocks = bc.Blocks() - blocksAtTk
+			for qid, cs := range sim.ClassStats() {
+				if qid < len(res.settleMsgs) {
+					res.settleMsgs[qid] = cs.Total() - msgsAtTk[qid]
+				}
+			}
+		}
+	}
+	sim.Flush()
+	st := sim.Stats()
+	res.dropped, res.takeovers = st.Dropped, st.Takeovers
+	if detectN > 0 {
+		res.detectAvg = float64(detectSum) / float64(detectN)
+	}
+	est0, _ := eng.EstimateQuery(0)
+	est1, _ := eng.EstimateQuery(1)
+	res.finalOK0 = float64(absDiff(f, est0)) <= eps*absF(f)+1e-9
+	res.finalOK1 = float64(absDiff(f, est1)) <= eps*absF(f)+1e-9
+	return res
+}
+
+// E31CrashTakeover crashes the heavy site of a zipf-skewed assignment four
+// times under three workload classes and compares warm (snapshot-restored)
+// replacements against naive cold restarts, with a crash-free baseline.
+// Warm takeover re-arms each replacement with the dead site's uncollected
+// in-block state (held counts fold back through the takeover merge), so
+// the deterministic query settles back inside ε within a couple of
+// collection rounds of the last takeover; every cold restart permanently
+// leaks up to the site's share of the open block — bounded damage by the
+// §3.1 design, but additive across restarts, until the accumulated deficit
+// breaks the guarantee outright.
+func E31CrashTakeover(cfg Config) *Table {
+	t := NewTable("E31", "crash-fault takeover: warm (snapshot) vs naive (cold) replacement of the heavy site",
+		"workload", "mode", "detect ticks", "settle ticks", "settle blocks",
+		"settle msgs q0/q1", "tail max err", "tail viol ‰", "dropped", "final q0/q1 ok")
+	const k, eps = 4, 0.1
+	n := cfg.scale(120_000)
+	model := dist.NetModel{Latency: 2, HeartbeatEvery: 64, HeartbeatMiss: 3}
+	workloads := []struct {
+		name string
+		gen  func() stream.Stream
+	}{
+		{"zipf", func() stream.Stream { return stream.BiasedWalk(n, 0.2, cfg.Seed) }},
+		{"markov", func() stream.Stream { return stream.LevelSwitch(n, n/6, n/12, 0.001, cfg.Seed) }},
+		{"bursty", func() stream.Stream { return stream.Bursty(n, 0.002, 32, cfg.Seed) }},
+	}
+	for _, w := range workloads {
+		ups := stream.Collect(stream.NewAssign(w.gen(), stream.NewSkewed(k, 1.5, cfg.Seed+5)))
+		for _, mode := range []string{"none", "warm", "naive"} {
+			r := e31Drive(ups, k, eps, mode, model, cfg.Seed+17)
+			detect, settle, blk, msgs := "-", d(r.settleTicks), d(r.settleBlocks), "0/0"
+			if mode != "none" {
+				detect = f1(r.detectAvg)
+			}
+			if r.tailViol > 0 {
+				msgs = d(r.settleMsgs[0]) + "/" + d(r.settleMsgs[1])
+			}
+			if !r.finalOK0 {
+				settle, blk = "never", "-"
+			}
+			t.AddRow(w.name, mode, detect, settle, blk, msgs,
+				f4(r.tailMaxErr), f1(1000*frac0(r.tailViol, r.tailSteps)),
+				d(r.dropped), b(r.finalOK0)+"/"+b(r.finalOK1))
+		}
+	}
+	t.AddNote("the heavy site (~54%% of a zipf s=1.5 assignment) dies at 30/50/70/85%% of the stream;")
+	t.AddNote("each replacement dials in 8 heartbeat periods later, after the miss detector's verdict.")
+	t.AddNote("settle: virtual time from the last takeover to the last step outside ε (0 = clean).")
+	t.AddNote("warm: snapshots taken one tick before each crash; held in-block counts fold back through")
+	t.AddNote("the takeover merge, so the tail matches the crash-free baseline. naive: each cold restart")
+	t.AddNote("leaks the victim's uncollected in-block state — at most its ε-budget share per crash (the")
+	t.AddNote("§3.1 collection bound), invisible once, ruinous accumulated — and nothing re-sends it.")
+	return t
+}

@@ -1,0 +1,48 @@
+package freq
+
+import (
+	"slices"
+
+	"repro/internal/track"
+)
+
+// AppendSnapshot implements track.InBlockSnapshotter: the F1 drift
+// estimator plus every live counter with its coordinator mirror, in sorted
+// cell order so equal state yields byte-equal blobs. The mirrors matter: a
+// restored site must agree with the coordinator's merged table about what
+// has been reported, or its next per-counter delta lands on the wrong base.
+func (s *freqSite) AppendSnapshot(b []byte) []byte {
+	b = append(b, track.SnapTagFreq)
+	b = track.AppendSnapFloat(b, s.cellThresh)
+	b = track.AppendSnapFloat(b, s.f1Thresh)
+	b = track.AppendSnapInt(b, s.f1Drift)
+	b = track.AppendSnapInt(b, s.f1Delta)
+	keys := make([]uint64, 0, len(s.cells))
+	for c := range s.cells {
+		keys = append(keys, c)
+	}
+	slices.Sort(keys)
+	b = track.AppendSnapUint(b, uint64(len(keys)))
+	for _, c := range keys {
+		st := s.cells[c]
+		b = track.AppendSnapUint(b, c)
+		b = track.AppendSnapInt(b, st.count)
+		b = track.AppendSnapInt(b, st.mirror)
+	}
+	return b
+}
+
+// RestoreSnapshot implements track.InBlockSnapshotter.
+func (s *freqSite) RestoreSnapshot(r *track.SnapReader) {
+	r.Tag(track.SnapTagFreq)
+	s.cellThresh = r.Float()
+	s.f1Thresh = r.Float()
+	s.f1Drift = r.Int()
+	s.f1Delta = r.Int()
+	n := r.Uint()
+	clear(s.cells)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		c := r.Uint()
+		s.cells[c] = &cellState{count: r.Int(), mirror: r.Int()}
+	}
+}

@@ -124,6 +124,13 @@ type Engine struct {
 	// snapshot, the bounds checks, and — for est0 — one interface dispatch.
 	q0   atomic.Pointer[queryState]
 	est0 atomic.Pointer[track.BlockCoord]
+
+	// dead marks slots the failure detector has declared dead and no
+	// takeover has reclaimed. Coordinator-side only, touched on the
+	// runtime's delivery path (OnSiteDead / OnSiteTakeover) and read when a
+	// new query attaches — a query born while a slot is dead must excuse
+	// that slot from its collections from the start.
+	dead []bool
 }
 
 // get returns the query with id qid, or nil.
@@ -175,7 +182,7 @@ func New(k int, specs []Spec) (*Coord, []dist.SiteAlgo, error) {
 	if k <= 0 {
 		return nil, nil, fmt.Errorf("query: New needs k > 0")
 	}
-	eng := &Engine{k: k}
+	eng := &Engine{k: k, dead: make([]bool, k)}
 	coord := &Coord{eng: eng}
 	sites := make([]*Site, k)
 	for i := range sites {
@@ -299,6 +306,17 @@ func (c *Coord) Attach(spec Spec, out dist.Outbox) (int, error) {
 		return 0, err
 	}
 	qid := c.eng.register(q)
+	// A query born while a slot is dead must excuse that slot from its
+	// collections from the start, or its first collection wedges on a reply
+	// that cannot come.
+	if h, ok := q.coord.(dist.CoordFailureHandler); ok {
+		for site, dead := range c.eng.dead {
+			if dead {
+				q.coordOut.reset(out)
+				h.OnSiteDead(site, &q.coordOut)
+			}
+		}
+	}
 	out.Broadcast(attachMsg(qid))
 	return qid, nil
 }
@@ -370,6 +388,11 @@ type Status struct {
 	Estimate int64   `json:"estimate"`
 	// State is the threshold verdict ("above"/"below"), empty otherwise.
 	State string `json:"state,omitempty"`
+	// Degraded reports that this query's coordinator is currently excusing
+	// at least one dead slot from its collections: the estimate is still
+	// served, but its error bound is widened by that slot's unreported
+	// in-block state until a replacement takes over.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Status reports every registered query. Call it at a quiescent point (or
@@ -393,6 +416,7 @@ func (c *Coord) Status() []Status {
 		if q.thresh != nil {
 			st.State = q.thresh.State().String()
 		}
+		st.Degraded = !q.detached && queryDegraded(c.eng.k, q)
 		out[qid] = st
 	}
 	return out
@@ -461,6 +485,11 @@ type Site struct {
 	fbuf    []stream.Update
 	fpos    []int
 	capture captureOutbox
+
+	// rebuilt marks a replacement site (Coord.RebuildSite): the registry's
+	// prebuilt site halves belong to the dead predecessor, so attach must
+	// construct fresh child algorithms instead of reusing them.
+	rebuilt bool
 }
 
 // captureOutbox buffers a child's (already tagged) messages during a
@@ -479,10 +508,18 @@ func (o *captureOutbox) Broadcast(m dist.Msg)     { *o.buf = append(*o.buf, m) }
 // exists yet, so no bootstrap traffic — which keeps the Q = 1 engine
 // byte-identical to a standalone deployment.
 func (s *Site) preattach(qid int, q *queryState) {
+	s.installChild(qid, q, q.sites[s.id])
+}
+
+// installChild wires algo in as the child for qid. Ordinary attaches pass
+// the registry's prebuilt site half; a site rebuilt after a crash passes a
+// fresh algorithm instead (the registry's object is the dead predecessor's
+// and still holds its state — see snapshot.go).
+func (s *Site) installChild(qid int, q *queryState, algo dist.SiteAlgo) *siteChild {
 	for len(s.children) <= qid {
 		s.children = append(s.children, nil)
 	}
-	ch := &siteChild{algo: q.sites[s.id], out: tagOutbox{qid: qid, k: s.eng.k}}
+	ch := &siteChild{algo: algo, out: tagOutbox{qid: qid, k: s.eng.k}}
 	if q.spec.Filter != nil {
 		ch.filter = q.spec.Filter.Match
 	}
@@ -493,6 +530,7 @@ func (s *Site) preattach(qid int, q *queryState) {
 	}
 	s.children[qid] = ch
 	s.recomputeSolo()
+	return ch
 }
 
 // recomputeSolo re-derives the Q = 1 fast-path pointer; see Site.solo.
@@ -797,7 +835,15 @@ func (s *Site) attach(qid int, out dist.Outbox) {
 	if q == nil {
 		return
 	}
-	s.preattach(qid, q)
+	if s.rebuilt {
+		qf, err := buildQuery(s.eng.k, q.spec)
+		if err != nil {
+			return
+		}
+		s.installChild(qid, q, qf.sites[s.id])
+	} else {
+		s.preattach(qid, q)
+	}
 	if s.updates == 0 {
 		return
 	}

@@ -1,0 +1,265 @@
+package query
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/dist"
+	"repro/internal/track"
+)
+
+// Crash-fault support for the multi-query engine: a Site composes its
+// children's snapshots into one blob (track.SiteSnapshotter), the Coord
+// reacts to the runtime's failure-detection and takeover hooks, and
+// RebuildSite constructs the replacement half a warm takeover restores
+// into. The per-query protocol work — watermarked held state, the
+// KindTakeover announce/ack, dead-slot excusal — all lives one layer down
+// in track.BlockSite / track.BlockCoord; this file only fans it out per
+// child and keeps the spine (the attach-history substrate) in the blob so
+// queries can keep attaching after a takeover.
+
+// AppendSnapshot implements track.SiteSnapshotter: the spine, then every
+// attached child's own snapshot, length-prefixed and keyed by query id. It
+// errors unless the site is quiescent — a child still ahead of the consumed
+// position or holding a buffered send has state that exists only relative
+// to an in-flight batch, which no blob can carry.
+func (s *Site) AppendSnapshot(b []byte) ([]byte, error) {
+	for qid, ch := range s.children {
+		if ch == nil {
+			continue
+		}
+		if ch.ahead != 0 || len(ch.pending) != 0 {
+			return nil, fmt.Errorf("query: snapshot of non-quiescent site (query %d mid-batch)", qid)
+		}
+	}
+	s.flushItemCache()
+	b = append(b, track.SnapTagQuery)
+	b = track.AppendSnapInt(b, s.updates)
+	b = track.AppendSnapInt(b, s.plus)
+	b = track.AppendSnapInt(b, s.minus)
+	keys := make([]uint64, 0, len(s.items))
+	for item := range s.items {
+		keys = append(keys, item)
+	}
+	slices.Sort(keys)
+	b = track.AppendSnapUint(b, uint64(len(keys)))
+	for _, item := range keys {
+		b = track.AppendSnapUint(b, item)
+		b = track.AppendSnapInt(b, s.items[item])
+	}
+	attached := 0
+	for _, ch := range s.children {
+		if ch != nil {
+			attached++
+		}
+	}
+	b = track.AppendSnapUint(b, uint64(attached))
+	for qid, ch := range s.children {
+		if ch == nil {
+			continue
+		}
+		sub, ok := ch.algo.(track.SiteSnapshotter)
+		if !ok {
+			return nil, fmt.Errorf("query: child %d (%T) does not support snapshots", qid, ch.algo)
+		}
+		blob, err := sub.AppendSnapshot(nil)
+		if err != nil {
+			return nil, fmt.Errorf("query: child %d: %w", qid, err)
+		}
+		b = track.AppendSnapUint(b, uint64(qid))
+		b = track.AppendSnapUint(b, uint64(len(blob)))
+		b = append(b, blob...)
+	}
+	return b, nil
+}
+
+// RestoreSnapshot implements track.SiteSnapshotter. Child algorithms are
+// built fresh through the query constructors and then overwritten from
+// their blobs — never taken from the shared registry, whose site halves
+// are the dead predecessor's objects. Blobs for queries detached while the
+// snapshot sat on disk are skipped; a blob for a query the registry does
+// not know is an error (the restoring process must register the same specs
+// first).
+func (s *Site) RestoreSnapshot(r *track.SnapReader) error {
+	r.Tag(track.SnapTagQuery)
+	s.updates = r.Int()
+	s.plus = r.Int()
+	s.minus = r.Int()
+	clear(s.items)
+	s.cacheOK = false
+	nitems := r.Uint()
+	for i := uint64(0); i < nitems && r.Err() == nil; i++ {
+		item := r.Uint()
+		s.items[item] = r.Int()
+	}
+	s.children = s.children[:0]
+	s.solo = nil
+	s.rebuilt = true
+	nchildren := r.Uint()
+	for i := uint64(0); i < nchildren && r.Err() == nil; i++ {
+		qid := int(r.Uint())
+		blob := r.Bytes(r.Uint())
+		if r.Err() != nil {
+			break
+		}
+		q := s.eng.get(qid)
+		if q == nil {
+			return fmt.Errorf("query: snapshot names unknown query %d (register the same specs before restoring)", qid)
+		}
+		if q.detached {
+			continue
+		}
+		qf, err := buildQuery(s.eng.k, q.spec)
+		if err != nil {
+			return fmt.Errorf("query: rebuild query %d: %w", qid, err)
+		}
+		ch := s.installChild(qid, q, qf.sites[s.id])
+		sub, ok := ch.algo.(track.SiteSnapshotter)
+		if !ok {
+			return fmt.Errorf("query: child %d (%T) does not support snapshots", qid, ch.algo)
+		}
+		sr := track.NewSnapReader(blob)
+		if err := sub.RestoreSnapshot(sr); err != nil {
+			return fmt.Errorf("query: child %d: %w", qid, err)
+		}
+		if sr.Err() != nil {
+			return fmt.Errorf("query: child %d: %w", qid, sr.Err())
+		}
+		if sr.Len() != 0 {
+			return fmt.Errorf("query: child %d: %d trailing bytes", qid, sr.Len())
+		}
+	}
+	s.recomputeSolo()
+	return r.Err()
+}
+
+// SetSnapshotHash implements track.SnapshotHashSetter by fan-out: every
+// restored child presents the same site-level blob hash in its takeover
+// announcement.
+func (s *Site) SetSnapshotHash(h uint64) {
+	for _, ch := range s.children {
+		if ch == nil {
+			continue
+		}
+		if hs, ok := ch.algo.(track.SnapshotHashSetter); ok {
+			hs.SetSnapshotHash(h)
+		}
+	}
+}
+
+// OnTakeover implements dist.SiteTakeover by fan-out: each restored child
+// announces itself to its own coordinator through the tagged outbox. A
+// cold-rebuilt site has no children yet and announces nothing — its
+// children arrive through the attach re-broadcast and heal through the
+// ordinary block machinery.
+func (s *Site) OnTakeover(out dist.Outbox) {
+	for _, ch := range s.children {
+		if ch == nil {
+			continue
+		}
+		if t, ok := ch.algo.(dist.SiteTakeover); ok {
+			ch.out.reset(out)
+			t.OnTakeover(&ch.out)
+		}
+	}
+}
+
+// OnSiteDead implements dist.CoordFailureHandler: record the dead slot at
+// the engine (so queries attached later excuse it too) and fan the hook out
+// to every live query's coordinator for graceful degradation.
+func (c *Coord) OnSiteDead(site int, out dist.Outbox) {
+	if site < 0 || site >= c.eng.k {
+		return
+	}
+	c.eng.dead[site] = true
+	for _, q := range c.eng.snapshot() {
+		if q.detached {
+			continue
+		}
+		if h, ok := q.coord.(dist.CoordFailureHandler); ok {
+			q.coordOut.reset(out)
+			h.OnSiteDead(site, &q.coordOut)
+		}
+	}
+}
+
+// OnSiteTakeover implements dist.CoordTakeoverHandler: the runtime spliced
+// a replacement into site's slot. Clear the dead marks and re-announce
+// every live query — restored children ignore the announcement (idempotent
+// attach), while queries attached after the snapshot was taken get built
+// fresh on the replacement and bootstrapped from its restored spine. All
+// per-query protocol traffic (acknowledgement, resync) waits for each
+// child's own KindTakeover announcement.
+func (c *Coord) OnSiteTakeover(site int, out dist.Outbox) {
+	if site < 0 || site >= c.eng.k {
+		return
+	}
+	c.eng.dead[site] = false
+	for qid, q := range c.eng.snapshot() {
+		if q.detached {
+			continue
+		}
+		if h, ok := q.coord.(dist.CoordTakeoverHandler); ok {
+			q.coordOut.reset(out)
+			h.OnSiteTakeover(site, &q.coordOut)
+		}
+		out.SendTo(site, attachMsg(qid))
+	}
+}
+
+// SiteDead reports whether the engine currently considers site's slot dead.
+func (c *Coord) SiteDead(site int) bool {
+	return site >= 0 && site < c.eng.k && c.eng.dead[site]
+}
+
+// RebuildSite constructs a fresh site half for a slot, the shell a warm
+// takeover restores a snapshot into (track.RestoreSite) before the runtime
+// splices it in — or, restored into nothing, a cold naive restart. It is
+// marked rebuilt: attach announcements build fresh child algorithms instead
+// of reusing the registry's, which belong to the dead predecessor.
+func (c *Coord) RebuildSite(id int) *Site {
+	return &Site{eng: c.eng, id: id, items: make(map[uint64]int64), rebuilt: true}
+}
+
+// BlockCoordFor returns query qid's block partitioner (nil for unknown
+// queries or non-partitioned coordinators), for liveness introspection and
+// recovery instrumentation.
+func (c *Coord) BlockCoordFor(qid int) *track.BlockCoord {
+	q := c.eng.get(qid)
+	if q == nil {
+		return nil
+	}
+	if q.freqT != nil {
+		return q.freqT.BlockCoord
+	}
+	if q.thresh != nil {
+		return q.thresh.TrackerBlockCoord()
+	}
+	if bc, ok := q.coord.(*track.BlockCoord); ok {
+		return bc
+	}
+	return nil
+}
+
+// queryDegraded reports whether q's coordinator currently excuses at least
+// one dead slot (see Status.Degraded).
+func queryDegraded(k int, q *queryState) bool {
+	var bc *track.BlockCoord
+	switch {
+	case q.freqT != nil:
+		bc = q.freqT.BlockCoord
+	case q.thresh != nil:
+		bc = q.thresh.TrackerBlockCoord()
+	default:
+		bc, _ = q.coord.(*track.BlockCoord)
+	}
+	if bc == nil {
+		return false
+	}
+	for i := 0; i < k; i++ {
+		if bc.SiteDead(i) {
+			return true
+		}
+	}
+	return false
+}

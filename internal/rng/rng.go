@@ -143,6 +143,21 @@ func (x *Xoshiro256) Perm(n int) []int {
 	return p
 }
 
+// State returns the generator's internal state, for checkpointing. A
+// generator restored with SetState produces exactly the sequence the
+// original would have produced from this point on.
+func (x *Xoshiro256) State() [4]uint64 { return x.s }
+
+// SetState overwrites the generator's internal state with a value obtained
+// from State. The all-zero state (a fixed point of the recurrence) is
+// replaced with the same guard constant New uses.
+func (x *Xoshiro256) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 0x9e3779b97f4a7c15
+	}
+	x.s = s
+}
+
 // Fork returns a new generator whose stream is statistically independent of
 // the receiver's, derived from the receiver's state and the given label.
 // Use it to give each site or trial its own generator without correlation.

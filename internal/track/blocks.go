@@ -98,6 +98,27 @@ type BlockSite struct {
 	ci          int64 // updates since the last count report or state reply
 	fi          int64 // net change in f since the last block broadcast
 	seenBlocks  int64 // block broadcasts adopted; the site's block sequence
+
+	// repliesSent counts state replies this site has sent (its takeover
+	// watermark: the coordinator counts them too, and comparing the two
+	// decides whether a snapshot's uncollected ci/fi are still owed).
+	repliesSent int64
+
+	// Takeover state (see OnTakeover): while the KindTakeover announce is
+	// in flight, the snapshot-era uncollected count and net change sit in
+	// heldCi/heldFi so post-takeover updates never mix with state whose
+	// fate the acknowledgement has yet to decide. Any state reply falling
+	// due in that window is deferred (deferReply, defCi/defFi): sending one
+	// would advance the reply watermark past the snapshot's and make the
+	// acknowledgement wrongly discard the held state. Deferred replies go
+	// out right after the acknowledgement; the coordinator folds them
+	// through its normal open/duplicate/straggler paths.
+	takingOver     bool
+	heldCi, heldFi int64
+	defCi, defFi   int64
+	deferReply     bool
+	snapReplies    int64
+	snapHash       uint64
 }
 
 // NewBlockSite wraps inner with the partition protocol for site id.
@@ -155,7 +176,12 @@ func (s *BlockSite) OnUpdateBatch(us []stream.Update, out dist.Outbox) int {
 func (s *BlockSite) OnMessage(m dist.Msg, out dist.Outbox) {
 	switch m.Kind {
 	case dist.KindStateRequest:
+		if s.takingOver {
+			s.deferReply = true
+			return
+		}
 		out.Send(dist.Msg{Kind: dist.KindStateReply, Site: s.id, A: s.ci, B: s.fi})
+		s.repliesSent++
 		s.ci = 0
 		// fi is zeroed here, not on KindNewBlock: the reported value is
 		// what the coordinator folds into f(n_j), and any update arriving
@@ -197,14 +223,72 @@ func (s *BlockSite) OnMessage(m dist.Msg, out dist.Outbox) {
 		// the broadcast sit in one quiescent cascade), so this sends
 		// nothing and Sim behaviour is unchanged.
 		if s.ci != 0 || s.fi != 0 {
-			out.Send(dist.Msg{Kind: dist.KindStateReply, Site: s.id, A: s.ci, B: s.fi})
+			if s.takingOver {
+				s.defCi += s.ci
+				s.defFi += s.fi
+			} else {
+				out.Send(dist.Msg{Kind: dist.KindStateReply, Site: s.id, A: s.ci, B: s.fi})
+				s.repliesSent++
+			}
 			s.ci = 0
 			s.fi = 0
 		}
 		s.r = m.A
 		s.batch = ceilPow2Half(s.r)
 		s.inner.Reset(s.r, out)
+	case dist.KindTakeover:
+		// The coordinator's acknowledgement of our OnTakeover announce: A is
+		// how many state replies from this slot the coordinator has counted.
+		// If that exceeds the snapshot's watermark, a reply our predecessor
+		// sent *after* the snapshot was delivered — the held ci/fi were
+		// already folded into f(n_j), so merging them would double-count.
+		// Otherwise they are still owed and rejoin the live counters. (A
+		// pre-crash reply dropped by the network makes A lag the watermark;
+		// merging is then still correct — held state is owed either way, and
+		// the dropped reply's content is not in it.)
+		if !s.takingOver {
+			return
+		}
+		s.takingOver = false
+		if m.A <= s.snapReplies {
+			s.ci += s.heldCi
+			s.fi += s.heldFi
+		}
+		s.heldCi, s.heldFi = 0, 0
+		s.ci += s.defCi
+		s.fi += s.defFi
+		s.defCi, s.defFi = 0, 0
+		if s.deferReply {
+			s.deferReply = false
+			out.Send(dist.Msg{Kind: dist.KindStateReply, Site: s.id, A: s.ci, B: s.fi})
+			s.repliesSent++
+			s.ci = 0
+			s.fi = 0
+		} else if s.ci >= s.batch {
+			out.Send(dist.Msg{Kind: dist.KindCountReport, Site: s.id, A: s.ci})
+			s.ci = 0
+		}
 	}
+}
+
+// SetSnapshotHash implements SnapshotHashSetter: RestoreSite stores the
+// blob's integrity hash here so OnTakeover can present it.
+func (s *BlockSite) SetSnapshotHash(h uint64) { s.snapHash = h }
+
+// OnTakeover implements dist.SiteTakeover: announce this replacement to the
+// coordinator. The snapshot-era uncollected count and net change are parked
+// in held state until the acknowledgement decides whether the predecessor
+// already reported them (see the KindTakeover case in OnMessage); the live
+// counters restart at zero so backlog replay and fresh updates accumulate
+// cleanly in the meantime. Cold (unrestored) replacements announce too —
+// with zero state, the ack is a no-op beyond unblocking the coordinator's
+// dead-slot bookkeeping and triggering the rejoin resync.
+func (s *BlockSite) OnTakeover(out dist.Outbox) {
+	s.takingOver = true
+	s.snapReplies = s.repliesSent
+	s.heldCi, s.heldFi = s.ci, s.fi
+	s.ci, s.fi = 0, 0
+	out.Send(dist.Msg{Kind: dist.KindTakeover, Site: s.id, Item: s.snapHash, A: s.snapReplies})
 }
 
 // OnRejoin implements dist.SiteRejoiner: flush the pending update count so
@@ -237,6 +321,13 @@ type BlockCoord struct {
 	replied    []bool // per-site: reply received for the open collection
 	fDelta     int64  // Σ f_i accumulated from state replies
 
+	// replySeq counts state replies received per site (every fold path:
+	// normal, duplicate, straggler) — the coordinator half of the takeover
+	// watermark. deadSite marks slots the failure detector declared dead;
+	// they are excused from collections until a takeover clears them.
+	replySeq []int64
+	deadSite []bool
+
 	// Diagnostics for experiments and tests.
 	blocks     int64   // completed blocks
 	blockStart []int64 // f(n_j) at each completed boundary (incl. initial 0)
@@ -246,7 +337,8 @@ type BlockCoord struct {
 // NewBlockCoord wraps inner with the partition protocol for k sites.
 func NewBlockCoord(k int, inner InBlockCoord) *BlockCoord {
 	c := &BlockCoord{k: k, inner: inner, tj: ceilPow2Half(0) * int64(k),
-		replied: make([]bool, k)}
+		replied: make([]bool, k), replySeq: make([]int64, k),
+		deadSite: make([]bool, k)}
 	c.blockStart = append(c.blockStart, 0)
 	inner.Reset(0)
 	return c
@@ -263,8 +355,23 @@ func (c *BlockCoord) OnMessage(m dist.Msg, out dist.Outbox) {
 			clear(c.replied)
 			c.fDelta = 0
 			out.Broadcast(dist.Msg{Kind: dist.KindStateRequest, Site: dist.CoordID})
+			// Dead slots cannot answer; excuse them up front so the
+			// collection closes on the live sites' replies alone. Their
+			// uncollected state is not lost — a warm replacement's held
+			// ci/fi come back through the takeover merge and fold in as a
+			// straggler reply.
+			for i, dead := range c.deadSite {
+				if dead && !c.replied[i] {
+					c.replied[i] = true
+					c.replies++
+				}
+			}
+			if c.replies == c.k {
+				c.finishBlock(out)
+			}
 		}
 	case dist.KindStateReply:
+		c.replySeq[m.Site]++
 		if !c.collecting {
 			// A straggler from a collection that already closed (possible
 			// only on faulty runtimes: a rejoin re-request raced a delayed
@@ -289,8 +396,63 @@ func (c *BlockCoord) OnMessage(m dist.Msg, out dist.Outbox) {
 		if c.replies == c.k {
 			c.finishBlock(out)
 		}
+	case dist.KindTakeover:
+		// A replacement announced itself for a slot. Acknowledge with our
+		// reply count for the slot (the site-side merge decision; see
+		// BlockSite), clear the dead mark, and run the rejoin resync so the
+		// replacement learns the authoritative block identity and any open
+		// collection re-requests its state. Per-link FIFO plus the
+		// runtime's incarnation gating guarantee this acknowledgement is
+		// the first message the replacement receives.
+		site := int(m.Site)
+		if site < 0 || site >= c.k {
+			return
+		}
+		c.deadSite[site] = false
+		out.SendTo(site, dist.Msg{Kind: dist.KindTakeover, Site: dist.CoordID,
+			Item: m.Item, A: c.replySeq[site]})
+		c.OnSiteRejoin(site, out)
 	default:
 		c.inner.OnMessage(m)
+	}
+}
+
+// OnSiteDead implements dist.CoordFailureHandler: graceful degradation. A
+// dead slot is excused from the open collection (and from future ones,
+// until a takeover) so the protocol keeps closing blocks and serving
+// estimates off the live sites instead of wedging on a reply that will
+// never come. The estimate's error bound degrades by the dead site's
+// unreported in-block state until a replacement arrives; Liveness-aware
+// callers surface that through their status (see internal/query).
+func (c *BlockCoord) OnSiteDead(site int, out dist.Outbox) {
+	if site < 0 || site >= c.k || c.deadSite[site] {
+		return
+	}
+	c.deadSite[site] = true
+	if c.collecting && !c.replied[site] {
+		c.replied[site] = true
+		c.replies++
+		if c.replies == c.k {
+			c.finishBlock(out)
+		}
+	}
+}
+
+// SiteDead reports whether the coordinator currently considers site's slot
+// dead (declared by OnSiteDead, cleared by a takeover announcement).
+func (c *BlockCoord) SiteDead(site int) bool { return c.deadSite[site] }
+
+// OnSiteTakeover implements dist.CoordTakeoverHandler: the runtime spliced a
+// replacement into site's slot. Only the dead mark is cleared here — all
+// protocol traffic (acknowledgement, resync, state re-request) waits for the
+// replacement's own KindTakeover announcement, whose arrival proves the
+// site end is listening. This hook matters for coordinators that never get
+// that announcement, e.g. a query attached after the snapshot was taken: the
+// replacement has no child for it, so without this hook the slot would stay
+// excused from that query's collections forever.
+func (c *BlockCoord) OnSiteTakeover(site int, out dist.Outbox) {
+	if site >= 0 && site < c.k {
+		c.deadSite[site] = false
 	}
 }
 

@@ -1,0 +1,295 @@
+package track
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// This file is the snapshot contract for crash-fault site replacement: a
+// site algorithm serializes its complete state to one blob, and a freshly
+// constructed algorithm restored from that blob is indistinguishable from
+// the original — restore-then-drive is byte-identical to never having
+// swapped processes (the property test in snapshot_test.go pins this).
+//
+// The wire format is a 4-byte magic, a varint-encoded payload, and a
+// trailing FNV-1a hash of the payload. Floats travel as their IEEE bit
+// patterns; maps are serialized in sorted key order so that snapshots of
+// equal state are byte-equal (and their hashes comparable). The format is
+// a checkpoint, not an archive: both ends are the same build, so there is
+// no cross-version negotiation beyond the magic.
+
+// snapMagic identifies a snapshot blob (and its format version).
+var snapMagic = [4]byte{'V', 'S', 'N', '1'}
+
+// Per-layer tags catch a blob restored into the wrong algorithm shape.
+// This block is the registry: layers in other packages take their tag from
+// here so no two layers collide.
+const (
+	snapTagBlock byte = 'B' // BlockSite spine
+	snapTagDet   byte = 'd' // deterministic in-block estimator
+	snapTagRand  byte = 'r' // randomized in-block estimator
+	SnapTagFreq  byte = 'F' // frequency in-block estimator (internal/freq)
+	SnapTagQuery byte = 'Q' // multi-query site (internal/query)
+)
+
+// SiteSnapshotter is implemented by site algorithms that support the
+// snapshot contract. AppendSnapshot serializes the complete state onto b;
+// RestoreSnapshot overwrites the receiver's state from r, consuming
+// exactly what AppendSnapshot wrote (so snapshots compose: a multi-query
+// site concatenates its children's).
+type SiteSnapshotter interface {
+	AppendSnapshot(b []byte) ([]byte, error)
+	RestoreSnapshot(r *SnapReader) error
+}
+
+// InBlockSnapshotter is the in-block mirror of SiteSnapshotter, one layer
+// down (as InBlockRejoiner mirrors dist.SiteRejoiner). Serialization at
+// this layer cannot fail; decode errors surface through the reader.
+type InBlockSnapshotter interface {
+	AppendSnapshot(b []byte) []byte
+	RestoreSnapshot(r *SnapReader)
+}
+
+// SnapshotHashSetter receives the integrity hash of the blob an algorithm
+// was restored from, so a replacement site can present it in its
+// KindTakeover announcement. RestoreSite calls it when implemented.
+type SnapshotHashSetter interface {
+	SetSnapshotHash(h uint64)
+}
+
+// SnapshotSite serializes a site algorithm's complete state into one
+// self-verifying blob. It errors when the algorithm does not support the
+// snapshot contract.
+func SnapshotSite(algo any) ([]byte, error) {
+	s, ok := algo.(SiteSnapshotter)
+	if !ok {
+		return nil, fmt.Errorf("track: %T does not support snapshots", algo)
+	}
+	b := make([]byte, len(snapMagic), 256)
+	copy(b, snapMagic[:])
+	b, err := s.AppendSnapshot(b)
+	if err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	h.Write(b[len(snapMagic):])
+	return h.Sum(b), nil
+}
+
+// RestoreSite overwrites a freshly constructed site algorithm's state from
+// a SnapshotSite blob, verifying the magic and the integrity hash, and
+// hands the hash to the algorithm when it implements SnapshotHashSetter.
+func RestoreSite(algo any, snap []byte) error {
+	s, ok := algo.(SiteSnapshotter)
+	if !ok {
+		return fmt.Errorf("track: %T does not support snapshots", algo)
+	}
+	if len(snap) < len(snapMagic)+8 || string(snap[:len(snapMagic)]) != string(snapMagic[:]) {
+		return fmt.Errorf("track: not a snapshot blob")
+	}
+	payload := snap[len(snapMagic) : len(snap)-8]
+	h := fnv.New64a()
+	h.Write(payload)
+	sum := h.Sum64()
+	if binary.BigEndian.Uint64(snap[len(snap)-8:]) != sum {
+		return fmt.Errorf("track: snapshot integrity hash mismatch")
+	}
+	r := &SnapReader{b: payload}
+	if err := s.RestoreSnapshot(r); err != nil {
+		return err
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("track: %d trailing bytes after snapshot", len(r.b))
+	}
+	if hs, ok := algo.(SnapshotHashSetter); ok {
+		hs.SetSnapshotHash(sum)
+	}
+	return nil
+}
+
+// SnapshotHash returns the integrity hash of a SnapshotSite blob (the
+// value a replacement presents in KindTakeover), or 0 for a malformed one.
+func SnapshotHash(snap []byte) uint64 {
+	if len(snap) < len(snapMagic)+8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(snap[len(snap)-8:])
+}
+
+// AppendSnapInt appends a zig-zag varint.
+func AppendSnapInt(b []byte, x int64) []byte { return binary.AppendVarint(b, x) }
+
+// AppendSnapUint appends a varint.
+func AppendSnapUint(b []byte, x uint64) []byte { return binary.AppendUvarint(b, x) }
+
+// AppendSnapFloat appends a float64 as its IEEE bit pattern.
+func AppendSnapFloat(b []byte, x float64) []byte {
+	return binary.AppendUvarint(b, math.Float64bits(x))
+}
+
+// SnapReader decodes a snapshot payload with a sticky error: after the
+// first malformed field every further read returns zero and Err is set, so
+// restore code reads fields unconditionally and checks once.
+type SnapReader struct {
+	b   []byte
+	err error
+}
+
+// NewSnapReader wraps a raw payload (tests and composition helpers; normal
+// restores go through RestoreSite).
+func NewSnapReader(b []byte) *SnapReader { return &SnapReader{b: b} }
+
+// Err returns the first decode error, if any.
+func (r *SnapReader) Err() error { return r.err }
+
+// Len returns the number of unconsumed payload bytes.
+func (r *SnapReader) Len() int { return len(r.b) }
+
+func (r *SnapReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("track: truncated or corrupt snapshot (%s)", what)
+	}
+}
+
+// Tag consumes one layer tag byte and checks it.
+func (r *SnapReader) Tag(want byte) {
+	if r.err != nil {
+		return
+	}
+	if len(r.b) == 0 || r.b[0] != want {
+		r.fail(fmt.Sprintf("expected tag %q", want))
+		return
+	}
+	r.b = r.b[1:]
+}
+
+// Uint consumes a varint.
+func (r *SnapReader) Uint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return x
+}
+
+// Int consumes a zig-zag varint.
+func (r *SnapReader) Int() int64 {
+	if r.err != nil {
+		return 0
+	}
+	x, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail("varint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return x
+}
+
+// Float consumes a float64 bit pattern.
+func (r *SnapReader) Float() float64 { return math.Float64frombits(r.Uint()) }
+
+// Bytes consumes n raw payload bytes (the body of a length-prefixed
+// sub-blob). The returned slice aliases the payload; callers consume it
+// before the next read.
+func (r *SnapReader) Bytes(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.b)) < n {
+		r.fail("sub-blob")
+		return nil
+	}
+	out := r.b[:n:n]
+	r.b = r.b[n:]
+	return out
+}
+
+// AppendSnapshot implements SiteSnapshotter on the partition layer: the
+// spine (exponent, pending count, net in-block change, block sequence,
+// reply watermark) followed by the in-block estimator's state.
+func (s *BlockSite) AppendSnapshot(b []byte) ([]byte, error) {
+	in, ok := s.inner.(InBlockSnapshotter)
+	if !ok {
+		return nil, fmt.Errorf("track: in-block estimator %T does not support snapshots", s.inner)
+	}
+	b = append(b, snapTagBlock)
+	b = AppendSnapInt(b, s.r)
+	b = AppendSnapInt(b, s.ci)
+	b = AppendSnapInt(b, s.fi)
+	b = AppendSnapInt(b, s.seenBlocks)
+	b = AppendSnapInt(b, s.repliesSent)
+	return in.AppendSnapshot(b), nil
+}
+
+// RestoreSnapshot implements SiteSnapshotter.
+func (s *BlockSite) RestoreSnapshot(r *SnapReader) error {
+	in, ok := s.inner.(InBlockSnapshotter)
+	if !ok {
+		return fmt.Errorf("track: in-block estimator %T does not support snapshots", s.inner)
+	}
+	r.Tag(snapTagBlock)
+	s.r = r.Int()
+	s.batch = ceilPow2Half(s.r)
+	s.ci = r.Int()
+	s.fi = r.Int()
+	s.seenBlocks = r.Int()
+	s.repliesSent = r.Int()
+	in.RestoreSnapshot(r)
+	return r.Err()
+}
+
+// AppendSnapshot implements InBlockSnapshotter for the deterministic
+// estimator.
+func (s *detSite) AppendSnapshot(b []byte) []byte {
+	b = append(b, snapTagDet)
+	b = AppendSnapFloat(b, s.threshold)
+	b = AppendSnapInt(b, s.di)
+	b = AppendSnapInt(b, s.delta)
+	return b
+}
+
+// RestoreSnapshot implements InBlockSnapshotter.
+func (s *detSite) RestoreSnapshot(r *SnapReader) {
+	r.Tag(snapTagDet)
+	s.threshold = r.Float()
+	s.di = r.Int()
+	s.delta = r.Int()
+}
+
+// AppendSnapshot implements InBlockSnapshotter for the randomized
+// estimator: the counters plus the generator state, so the restored site
+// draws exactly the coin sequence the original would have.
+func (s *randSite) AppendSnapshot(b []byte) []byte {
+	b = append(b, snapTagRand)
+	b = AppendSnapFloat(b, s.p)
+	b = AppendSnapInt(b, s.dplus)
+	b = AppendSnapInt(b, s.dminus)
+	for _, w := range s.src.State() {
+		b = AppendSnapUint(b, w)
+	}
+	return b
+}
+
+// RestoreSnapshot implements InBlockSnapshotter.
+func (s *randSite) RestoreSnapshot(r *SnapReader) {
+	r.Tag(snapTagRand)
+	s.p = r.Float()
+	s.dplus = r.Int()
+	s.dminus = r.Int()
+	var st [4]uint64
+	for i := range st {
+		st[i] = r.Uint()
+	}
+	s.src.SetState(st)
+}

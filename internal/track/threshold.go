@@ -80,6 +80,34 @@ func (m *ThresholdMonitor) OnSiteRejoin(site int, out dist.Outbox) {
 	}
 }
 
+// OnSiteDead implements dist.CoordFailureHandler by delegation, so a
+// monitor deployed behind failure detection degrades gracefully exactly as
+// the tracker it wraps does.
+func (m *ThresholdMonitor) OnSiteDead(site int, out dist.Outbox) {
+	if h, ok := m.coord.(dist.CoordFailureHandler); ok {
+		h.OnSiteDead(site, out)
+	}
+}
+
+// OnSiteTakeover implements dist.CoordTakeoverHandler by delegation.
+func (m *ThresholdMonitor) OnSiteTakeover(site int, out dist.Outbox) {
+	if h, ok := m.coord.(dist.CoordTakeoverHandler); ok {
+		h.OnSiteTakeover(site, out)
+	}
+}
+
+// TrackerBlockCoord exposes the wrapped tracker's block partitioner for
+// liveness introspection (dead-slot queries, recovery instrumentation). It
+// is deliberately NOT named UnderlyingBlockCoord: satisfying
+// track.BlockCoordSource would switch on the harness's block-boundary
+// instrumentation for every standalone monitor run.
+func (m *ThresholdMonitor) TrackerBlockCoord() *BlockCoord {
+	if bc, ok := m.coord.(*BlockCoord); ok {
+		return bc
+	}
+	return nil
+}
+
 // State answers the thresholded query.
 func (m *ThresholdMonitor) State() ThresholdState {
 	if float64(m.coord.Estimate()) >= m.trigger {
