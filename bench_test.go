@@ -62,6 +62,8 @@ func BenchmarkE27AsyncChurn(b *testing.B)          { benchExperiment(b, "E27") }
 func BenchmarkE28MuxAmortization(b *testing.B)     { benchExperiment(b, "E28") }
 func BenchmarkE29DynamicAttach(b *testing.B)       { benchExperiment(b, "E29") }
 func BenchmarkE30EngineBatch(b *testing.B)         { benchExperiment(b, "E30") }
+func BenchmarkE31CrashTakeover(b *testing.B)       { benchExperiment(b, "E31") }
+func BenchmarkE32ChaosSchedules(b *testing.B)      { benchExperiment(b, "E32") }
 
 // benchTrackerThroughput measures end-to-end simulator throughput
 // (updates/sec) for a tracker on a generated stream — the systems-facing

@@ -39,11 +39,31 @@
 //
 //	varmon -n 20000 -hb 10ms -kill 8000:1
 //
+// -kill-coord STEP is the coordinator-side mirror: at update STEP the
+// coordinator process is killed. Every site's updates buffer locally while
+// the slot is vacant, then a replacement coordinator comes up on a new
+// port (with -standby, warm: restored from a pre-kill snapshot; without,
+// cold: rebuilt purely from what the sites re-report through the
+// KindCoordTakeover handshake), all sites re-dial it, the buffered
+// backlogs replay, and the run exits nonzero unless exactly one
+// coordinator takeover happened and the final estimate is inside ε:
+//
+//	varmon -n 20000 -hb 10ms -kill-coord 8000 -standby
+//
+// -snapshot-dir DIR persists the coordinator's self-verifying snapshot to
+// DIR at every progress interval (and at the pre-kill checkpoint with
+// -kill-coord); -restore DIR boots the coordinator from the newest
+// snapshot in DIR that still passes its integrity hash — damaged files
+// are skipped loudly, never silently restored. With -restore the
+// coordinator resumes the snapshot's accumulated history, so the printed
+// exact value only matches when the run continues the recorded stream.
+//
 // Usage:
 //
 //	varmon [-k 4] [-eps 0.1] [-n 100000] [-stream randwalk|biased|monotone|sawtooth|zipf] [-seed 1]
 //	       [-queries SPECS] [-http ADDR] [-record FILE] [-replay FILE] [-net MODEL]
 //	       [-dial-timeout 2s] [-hb 0] [-hb-miss 3] [-kill STEP:SITE] [-takeover-after 0]
+//	       [-kill-coord STEP] [-standby] [-snapshot-dir DIR] [-restore DIR]
 package main
 
 import (
@@ -131,7 +151,11 @@ func main() {
 		hb       = flag.Duration("hb", 0, "TCP failure detection: heartbeat interval (0 = off)")
 		hbMiss   = flag.Int("hb-miss", 3, "consecutive missed heartbeat periods before a slot is declared dead")
 		kill     = flag.String("kill", "", "crash-fault smoke (TCP single-query mode): kill site at 'STEP:SITE', e.g. 8000:1")
-		tkAfter  = flag.Duration("takeover-after", 0, "with -kill: extra degraded time between the death verdict and the warm takeover dial")
+		tkAfter  = flag.Duration("takeover-after", 0, "with -kill/-kill-coord: extra degraded time before the replacement comes up")
+		killCo   = flag.Int64("kill-coord", 0, "coordinator crash smoke (TCP single-query mode): kill the coordinator at this step and fail over")
+		standby  = flag.Bool("standby", false, "with -kill-coord: warm standby — restore the replacement coordinator from the pre-kill snapshot instead of booting cold")
+		snapDir  = flag.String("snapshot-dir", "", "TCP single-query mode: persist coordinator snapshots into this directory at every progress interval")
+		restDir  = flag.String("restore", "", "TCP single-query mode: boot the coordinator from the newest intact snapshot in this directory")
 	)
 	flag.Parse()
 
@@ -204,6 +228,18 @@ func main() {
 	if *kill != "" && (*queries != "" || model != nil) {
 		fatalf("-kill needs the single-query live TCP runtime (drop -queries and -net)")
 	}
+	if *killCo > 0 && (*queries != "" || model != nil) {
+		fatalf("-kill-coord needs the single-query live TCP runtime (drop -queries and -net)")
+	}
+	if *kill != "" && *killCo > 0 {
+		fatalf("-kill and -kill-coord are one fault apiece; pick one")
+	}
+	if *standby && *killCo == 0 {
+		fatalf("-standby only means something with -kill-coord")
+	}
+	if (*snapDir != "" || *restDir != "") && (*queries != "" || model != nil || *kill != "") {
+		fatalf("-snapshot-dir/-restore need the single-query live TCP runtime (drop -queries, -net and -kill)")
+	}
 	switch {
 	case *queries != "":
 		specs, err := query.ParseSpecs(*queries)
@@ -220,8 +256,10 @@ func main() {
 	case *kill != "":
 		step, site := parseKill(*kill, *k)
 		runTCPKill(st, *k, *eps, every, opts, step, site, *tkAfter)
+	case *killCo > 0:
+		runTCPKillCoord(st, *k, *eps, every, opts, *killCo, *standby, *snapDir, *restDir, *tkAfter)
 	default:
-		runTCP(st, *k, *eps, every, opts)
+		runTCP(st, *k, *eps, every, opts, *snapDir, *restDir)
 	}
 
 	if tw != nil {
@@ -275,9 +313,34 @@ func parseKill(spec string, k int) (int64, int) {
 	return step, site
 }
 
-func runTCP(st stream.Stream, k int, eps float64, every int64, opts tcpOpts) {
+func runTCP(st stream.Stream, k int, eps float64, every int64, opts tcpOpts, snapDir, restoreDir string) {
 	coordAlgo, siteAlgos := track.NewDeterministic(k, eps)
-	coord, err := dist.ListenCoordinator("127.0.0.1:0", k, coordAlgo)
+	var coord *dist.Coordinator
+	var err error
+	if restoreDir != "" {
+		// Boot from the newest intact on-disk snapshot. The restored
+		// coordinator is a new incarnation of an old deployment, so it
+		// listens as a standby: epoch 1, announcing the takeover to every
+		// site that dials so their books fold through the handshake.
+		restored, step, skipped, rerr := restoreLatest(restoreDir, func() any {
+			a, _ := track.NewDeterministic(k, eps)
+			return a
+		})
+		for _, s := range skipped {
+			fmt.Fprintf(os.Stderr, "varmon: skipping damaged snapshot %s\n", s)
+		}
+		if rerr != nil {
+			fatalf("%v", rerr)
+		}
+		coordAlgo = restored.(dist.CoordAlgo)
+		coord, err = dist.ListenCoordinatorStandby("127.0.0.1:0", k, coordAlgo, 1)
+		if err == nil {
+			fmt.Printf("coordinator restored from the step-%d snapshot in %s (f̂ resumes at %d)\n",
+				step, restoreDir, coordAlgo.Estimate())
+		}
+	} else {
+		coord, err = dist.ListenCoordinator("127.0.0.1:0", k, coordAlgo)
+	}
 	if err != nil {
 		fatalf("listen: %v", err)
 	}
@@ -301,6 +364,9 @@ func runTCP(st stream.Stream, k int, eps float64, every int64, opts tcpOpts) {
 		if u.T%every == 0 {
 			// Flush so the printed estimate reflects all sent messages.
 			barrierAll(sites, "barrier")
+			if snapDir != "" {
+				writeSnapshot(coord, coordAlgo, snapDir, u.T)
+			}
 			est := coord.Estimate()
 			fmt.Printf("t=%-10d f=%-10d f̂=%-10d rel.err=%-8.5f msgs=%d\n",
 				u.T, f, est, relErr(f, est), coord.Stats().Total())
@@ -451,6 +517,182 @@ func runTCPKill(st stream.Stream, k int, eps float64, every int64, opts tcpOpts,
 		fatalf("estimate %d vs exact %d misses ε=%g after takeover", est, f, eps)
 	}
 	fmt.Println("kill-and-takeover smoke passed")
+}
+
+// writeSnapshot checkpoints the coordinator under its own lock and
+// persists the blob, returning it for callers that also hold it in memory.
+func writeSnapshot(coord *dist.Coordinator, algo dist.CoordAlgo, dir string, step int64) []byte {
+	var blob []byte
+	var err error
+	coord.Inject(func(dist.Outbox) {
+		blob, err = track.SnapshotCoord(algo)
+	})
+	if err != nil {
+		fatalf("snapshot: %v", err)
+	}
+	if _, err := writeSnapshotFile(dir, step, blob); err != nil {
+		fatalf("persisting snapshot: %v", err)
+	}
+	return blob
+}
+
+// runTCPKillCoord is the coordinator-side crash smoke: the coordinator
+// process dies mid-stream, every site's share of the stream buffers
+// locally while the slot is vacant, then a replacement coordinator comes
+// up on a new port — warm (snapshot-restored) with -standby, cold
+// otherwise — announces its epoch, refolds the sites' books through the
+// KindCoordTakeover handshake as they re-dial, and replays the buffered
+// backlogs. Exits nonzero unless exactly one coordinator takeover happened
+// and the final estimate is back inside ε.
+func runTCPKillCoord(st stream.Stream, k int, eps float64, every int64, opts tcpOpts,
+	killStep int64, standby bool, snapDir, restoreDir string, tkAfter time.Duration) {
+	if opts.hb <= 0 {
+		opts.hb = 25 * time.Millisecond // arm the detector on both incarnations
+	}
+	coordAlgo, siteAlgos := track.NewDeterministic(k, eps)
+	coord, err := dist.ListenCoordinator("127.0.0.1:0", k, coordAlgo)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	defer func() { coord.Close() }()
+	mode := "cold restart"
+	if standby {
+		mode = "warm standby"
+	}
+	fmt.Printf("coordinator listening on %s; %d sites connecting; killing the coordinator at step %d (%s)\n",
+		coord.Addr(), k, killStep, mode)
+
+	sites := dialSites(coord.Addr(), k, siteAlgos, opts.dialTimeout)
+	defer func() { closeSites(sites) }()
+	opts.arm(coord, sites)
+
+	// The outage spans one progress interval of buffered streaming, so the
+	// degraded window is visible in the report even on short runs.
+	outage := every
+	var f, steps int64
+	var snap []byte
+	backlog := make([][]stream.Update, k)
+	backlogged := 0
+	killed, revived := false, false
+	var killedAt time.Time
+
+	revive := func() {
+		replacement, _ := track.NewDeterministic(k, eps)
+		if standby {
+			if restoreDir != "" {
+				// Boot from disk: the newest snapshot that still verifies.
+				restored, step, skipped, rerr := restoreLatest(restoreDir, func() any {
+					a, _ := track.NewDeterministic(k, eps)
+					return a
+				})
+				for _, s := range skipped {
+					fmt.Fprintf(os.Stderr, "varmon: skipping damaged snapshot %s\n", s)
+				}
+				if rerr != nil {
+					fatalf("%v", rerr)
+				}
+				replacement = restored.(dist.CoordAlgo)
+				fmt.Printf("t=%-10d standby restored from the step-%d snapshot in %s\n", steps, step, restoreDir)
+			} else if err := track.RestoreCoord(replacement, snap); err != nil {
+				fatalf("restore: %v", err)
+			}
+		}
+		next, err := dist.ListenCoordinatorStandby("127.0.0.1:0", k, replacement, 1)
+		if err != nil {
+			fatalf("standby listen: %v", err)
+		}
+		next.SetFailureDetection(opts.hb, opts.hbMiss)
+		for i := range sites {
+			s, err := dist.DialNetSiteRetry(next.Addr(), i, siteAlgos[i], opts.dialTimeout)
+			if err != nil {
+				fatalf("re-dial site %d: %v", i, err)
+			}
+			s.StartHeartbeats(opts.hb)
+			sites[i] = s
+		}
+		for i, b := range backlog {
+			for _, u := range b {
+				sites[i].Update(u)
+			}
+		}
+		coord, coordAlgo = next, replacement
+		revived = true
+		fmt.Printf("t=%-10d coordinator takeover (%s): %d sites re-dialed %s, %d buffered updates replayed\n",
+			steps, mode, k, next.Addr(), backlogged)
+	}
+
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		checkSite(u, k)
+		f += u.Delta
+		steps++
+		if !killed && steps == killStep {
+			// Quiesce, checkpoint the coordinator under its lock, then kill
+			// it. The sites survive; their connections die with it.
+			barrierAll(sites, "pre-kill barrier")
+			coord.Inject(func(dist.Outbox) {
+				snap, err = track.SnapshotCoord(coordAlgo)
+			})
+			if err != nil {
+				fatalf("snapshot: %v", err)
+			}
+			if snapDir != "" {
+				if _, werr := writeSnapshotFile(snapDir, steps, snap); werr != nil {
+					fatalf("persisting snapshot: %v", werr)
+				}
+			}
+			coord.Close()
+			closeSites(sites)
+			killed = true
+			killedAt = time.Now()
+			fmt.Printf("t=%-10d killed the coordinator (snapshot: %d bytes); buffering all sites' updates\n",
+				steps, len(snap))
+		}
+		if killed && !revived {
+			backlog[u.Site] = append(backlog[u.Site], u)
+			backlogged++
+			if steps >= killStep+outage && time.Since(killedAt) >= tkAfter {
+				revive() // replays the backlog, including this update
+			}
+		} else {
+			sites[u.Site].Update(u)
+		}
+		if u.T%every == 0 {
+			if killed && !revived {
+				fmt.Printf("t=%-10d f=%-10d f̂=(coordinator down) buffered=%d [degraded]\n", u.T, f, backlogged)
+			} else {
+				est := coord.Estimate()
+				fmt.Printf("t=%-10d f=%-10d f̂=%-10d rel.err=%-8.5f msgs=%d\n",
+					u.T, f, est, relErr(f, est), coord.Stats().Total())
+			}
+		}
+	}
+	if !killed {
+		fatalf("stream ended before -kill-coord step %d (only %d updates)", killStep, steps)
+	}
+	// A short stream can end mid-outage; the smoke still owes a takeover.
+	if !revived {
+		revive()
+	}
+
+	barrierQuiesce(coord, sites, "final barrier")
+	stats := coord.Stats()
+	est := coord.Estimate()
+	fmt.Printf("\nfinal: f=%d f̂=%d rel.err=%.5f | messages=%d epoch drops=%d coordinator takeovers=%d\n",
+		f, est, relErr(f, est), stats.Total(), stats.EpochDrops, stats.CoordTakeovers)
+	if err := coord.Err(); err != nil {
+		fatalf("transport error: %v", err)
+	}
+	if stats.CoordTakeovers != 1 {
+		fatalf("expected exactly one coordinator takeover, saw %d", stats.CoordTakeovers)
+	}
+	if relErr(f, est) > eps+1e-9 {
+		fatalf("estimate %d vs exact %d misses ε=%g after coordinator takeover", est, f, eps)
+	}
+	fmt.Println("coordinator kill-and-takeover smoke passed")
 }
 
 func runAsync(st stream.Stream, k int, eps float64, every int64, model dist.NetModel, seed uint64) {

@@ -58,6 +58,19 @@ type CoordFailureHandler interface {
 	OnSiteDead(site int, out Outbox)
 }
 
+// CoordRecoverHandler is the rescind half of CoordFailureHandler: a
+// failure detector cannot distinguish a crashed site from one behind a
+// transient partition, and its death verdicts latch. OnSiteAlive fires
+// when a heartbeat from the declared-dead site's current incarnation
+// arrives anyway — proof the verdict was premature — so the coordinator
+// can stop excusing the slot from collections before the leak compounds.
+// A genuinely crashed site never triggers it: its heartbeat chain died
+// with it, and a replacement announces itself through the takeover path
+// instead.
+type CoordRecoverHandler interface {
+	OnSiteAlive(site int, out Outbox)
+}
+
 // SiteTakeover is an optional SiteAlgo extension for replacement processes:
 // OnTakeover fires once when the site is spliced into a dead slot, letting
 // it announce itself to the coordinator (KindTakeover) and negotiate what
@@ -75,6 +88,17 @@ type SiteTakeover interface {
 // queries registered after the replacement's snapshot was taken).
 type CoordTakeoverHandler interface {
 	OnSiteTakeover(site int, out Outbox)
+}
+
+// CoordTakeover is an optional CoordAlgo extension for standby coordinator
+// processes: OnCoordTakeover fires once per site when the standby is
+// spliced into the dead coordinator's slot, letting it announce the new
+// coordinator epoch (KindCoordTakeover) and negotiate what reply content
+// its snapshot never saw. AsyncSim calls it for every site at the splice;
+// the TCP standby calls it per site as each one re-dials, so the announce
+// is always the first frame a re-connected site receives.
+type CoordTakeover interface {
+	OnCoordTakeover(site int, epoch int64, out Outbox)
 }
 
 // BatchSiteAlgo is an optional fast path for SiteAlgo. The runtime hands a

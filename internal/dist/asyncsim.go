@@ -77,6 +77,17 @@ type AsyncSim struct {
 	hbRun       []int
 	closing     bool
 
+	// Coordinator crash-fault state, mirroring the per-site fields above:
+	// coordCrashed marks the coordinator process dead, coordEpoch is the
+	// coordinator incarnation stamped onto every delivery (event.cepoch),
+	// and coordStandby holds the algorithm a ScheduleCoordTakeover will
+	// splice in. The coordinator has no durable backlog: site reports lost
+	// to an outage are re-derived by the KindCoordTakeover handshake, not
+	// replayed (only the TCP transport buffers frames for replay).
+	coordCrashed bool
+	coordEpoch   uint32
+	coordStandby CoordAlgo
+
 	coordOut *asyncOutbox
 	siteOut  []*asyncOutbox
 
@@ -103,8 +114,10 @@ const (
 	evDeliver eventKind = iota
 	evDown
 	evUp
-	evCrash    // crash-fault the slot (to)
-	evTakeover // splice a replacement into the slot (to)
+	evCrash         // crash-fault the slot (to)
+	evTakeover      // splice a replacement into the slot (to)
+	evCoordCrash    // crash-fault the coordinator
+	evCoordTakeover // splice the standby into the coordinator slot
 	evHeartbeat
 	evHbArrive
 	evHbCheck
@@ -117,7 +130,10 @@ const (
 // the message belongs to: a crash or takeover of the site endpoint
 // increments the slot's epoch, and a delivery whose epoch is stale is
 // counted Dropped — a replacement never sees its predecessor's in-flight
-// traffic, and a dead slot contributes no staleness.
+// traffic, and a dead slot contributes no staleness. cepoch is the same
+// stamp for the link's coordinator endpoint: every delivery belongs to one
+// site incarnation and one coordinator incarnation, and going stale on
+// either loses it.
 type event struct {
 	at      int64
 	seq     uint64
@@ -126,6 +142,7 @@ type event struct {
 	to      int32
 	attempt int
 	epoch   uint32
+	cepoch  uint32
 	sent    int64
 	msg     Msg
 }
@@ -496,10 +513,10 @@ func (s *AsyncSim) pushEvent(e *event) {
 }
 
 // send schedules one transmission of a freshly emitted message, stamped
-// with the current incarnation of its site endpoint's slot.
+// with the current incarnations of both its endpoints' slots.
 func (s *AsyncSim) send(from, to int32, m Msg) {
 	e := event{kind: evDeliver, from: from, to: to, sent: s.now, msg: m,
-		epoch: s.epoch[s.siteEnd(from, to)]}
+		epoch: s.epoch[s.siteEnd(from, to)], cepoch: s.coordEpoch}
 	s.transmit(&e, s.now)
 }
 
@@ -561,7 +578,9 @@ func (s *AsyncSim) process(e *event) {
 	case evUp:
 		s.down[e.to] = false
 		site := int(e.to)
-		if s.crashed[site] {
+		if s.crashed[site] || s.coordCrashed {
+			// No resync with a dead endpoint: the takeover handshake is
+			// what re-establishes shared state once a replacement arrives.
 			return
 		}
 		if c, ok := s.coord.(CoordRejoiner); ok {
@@ -577,6 +596,12 @@ func (s *AsyncSim) process(e *event) {
 	case evTakeover:
 		s.processTakeover(e)
 		return
+	case evCoordCrash:
+		s.processCoordCrash(e)
+		return
+	case evCoordTakeover:
+		s.processCoordTakeover(e)
+		return
 	case evHeartbeat:
 		s.processHeartbeat(e)
 		return
@@ -589,13 +614,22 @@ func (s *AsyncSim) process(e *event) {
 	}
 
 	// A delivery crossing a crashed slot, or belonging to a previous
-	// incarnation of its slot (sent before a crash or a takeover), is lost
-	// for good with no retransmission and no staleness: the process that
-	// could have consumed or resent it no longer exists.
-	if end := s.siteEnd(e.from, e.to); s.crashed[end] || s.epoch[end] != e.epoch {
+	// incarnation of either endpoint (sent before a crash or a takeover of
+	// the site or of the coordinator), is lost for good with no
+	// retransmission and no staleness: the process that could have consumed
+	// or resent it no longer exists. Every drop through this gate is
+	// additionally counted in EpochDrops — aggregate and per-class alike, so
+	// the per-class exact-sum property covers it — which is what separates
+	// incarnation losses from the fault model's network losses below.
+	end := s.siteEnd(e.from, e.to)
+	if s.crashed[end] || s.epoch[end] != e.epoch ||
+		s.coordCrashed || e.cepoch != s.coordEpoch {
 		s.stats.Dropped++
+		s.stats.EpochDrops++
 		if s.classifier != nil {
-			s.classSlotOf(e).Dropped++
+			cs := s.classSlotOf(e)
+			cs.Dropped++
+			cs.EpochDrops++
 		}
 		return
 	}

@@ -1,0 +1,230 @@
+package dist_test
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/stream"
+	"repro/internal/track"
+)
+
+// TestCoordCrashTakeoverReconverges is the coordinator warm-standby path
+// end to end: snapshot the coordinator, crash it, restore the blob into a
+// fresh coordinator, splice it in via ScheduleCoordTakeover, and require
+// the final estimate to meet the tracker's ε bound — the restored spine,
+// the KindCoordTakeover handshake's fold of reply content the snapshot
+// never saw, and the resync of the open collection must all land for that
+// to hold.
+func TestCoordCrashTakeoverReconverges(t *testing.T) {
+	const k, n = 4, 40_000
+	const eps = 0.1
+	model := dist.NetModel{Latency: 2, HeartbeatEvery: 32, HeartbeatMiss: 3}
+	coord, sites := track.NewDeterministic(k, eps)
+	sim := dist.NewAsyncSim(coord, sites, model, 13)
+	st := stream.NewAssign(stream.BiasedWalk(n, 0.3, 29), stream.NewRoundRobin(k))
+	var f int64
+	i := 0
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		f += u.Delta
+		sim.Step(u)
+		i++
+		if i == n/2 {
+			// Checkpoint the coordinator and kill it on the next tick: the
+			// checkpoint lag is one tick's in-flight traffic, and whatever
+			// the sites report into the outage is re-derived by the
+			// handshake, so the ε bound must survive the failover.
+			snap, err := track.SnapshotCoord(coord)
+			if err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			fresh, _ := track.NewDeterministic(k, eps)
+			if err := track.RestoreCoord(fresh, snap); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			crash := sim.Now() + 1
+			sim.ScheduleCoordCrash(crash)
+			sim.ScheduleCoordTakeover(crash+8*model.HeartbeatEvery, fresh)
+		}
+	}
+	sim.Flush()
+	stats := sim.Stats()
+	if stats.CoordTakeovers != 1 {
+		t.Fatalf("coordinator takeovers = %d, want 1", stats.CoordTakeovers)
+	}
+	if sim.CoordCrashed() {
+		t.Fatalf("coordinator still crashed after takeover")
+	}
+	if stats.EpochDrops == 0 {
+		t.Fatalf("outage traffic should surface as EpochDrops: %+v", stats)
+	}
+	if stats.EpochDrops > stats.Dropped {
+		t.Fatalf("EpochDrops %d exceeds Dropped %d", stats.EpochDrops, stats.Dropped)
+	}
+	for i := 0; i < k; i++ {
+		if sim.Suspected(i) {
+			t.Fatalf("site %d falsely suspected after the standby's grace period", i)
+		}
+	}
+	est := sim.Estimate()
+	diff := est - f
+	if diff < 0 {
+		diff = -diff
+	}
+	bound := eps * float64(f)
+	if bound < 0 {
+		bound = -bound
+	}
+	if float64(diff) > bound {
+		t.Fatalf("estimate %d vs exact %d: |err|=%d exceeds ε·f=%.1f after coordinator takeover",
+			est, f, diff, bound)
+	}
+}
+
+// TestCoordCrashNoTakeoverDegrades crashes the coordinator with no standby:
+// the run must still terminate (sites keep ingesting; their reports into
+// the dead slot surface as Dropped), and the dead coordinator's estimate
+// stays frozen rather than wedging anything.
+func TestCoordCrashNoTakeoverDegrades(t *testing.T) {
+	const k, n, crashI = 4, 20_000, 10_000
+	model := dist.NetModel{Latency: 2, HeartbeatEvery: 32, HeartbeatMiss: 3}
+	coord, sites := track.NewDeterministic(k, 0.1)
+	sim := dist.NewAsyncSim(coord, sites, model, 5)
+	st := stream.NewAssign(stream.BiasedWalk(n, 0.3, 23), stream.NewRoundRobin(k))
+	var estAtCrash int64
+	i := 0
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		sim.Step(u)
+		i++
+		if i == crashI {
+			sim.ScheduleCoordCrash(sim.Now() + 1)
+		}
+		if i == crashI+100 {
+			estAtCrash = sim.Estimate()
+		}
+	}
+	sim.Flush()
+	if !sim.CoordCrashed() {
+		t.Fatalf("coordinator not marked crashed")
+	}
+	if got := sim.Estimate(); got != estAtCrash {
+		t.Fatalf("dead coordinator's estimate moved: %d then %d", estAtCrash, got)
+	}
+	stats := sim.Stats()
+	if stats.Dropped == 0 {
+		t.Fatalf("reports into the dead coordinator should count as Dropped: %+v", stats)
+	}
+	if stats.CoordTakeovers != 0 {
+		t.Fatalf("phantom coordinator takeover: %+v", stats)
+	}
+}
+
+// TestCoordColdStandbyRecovers is the contrast run: a cold (unrestored)
+// standby loses the snapshot but still heals through the handshake — the
+// sites' lifetime reply books rebuild the reported totals from scratch —
+// and the protocol resumes completing blocks instead of wedging.
+func TestCoordColdStandbyRecovers(t *testing.T) {
+	const k, n = 4, 40_000
+	model := dist.NetModel{Latency: 2, HeartbeatEvery: 32, HeartbeatMiss: 3}
+	coord, sites := track.NewDeterministic(k, 0.1)
+	sim := dist.NewAsyncSim(coord, sites, model, 13)
+	st := stream.NewAssign(stream.BiasedWalk(n, 0.3, 29), stream.NewRoundRobin(k))
+	var blocksAtCrash int64
+	var standby dist.CoordAlgo
+	i := 0
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		sim.Step(u)
+		i++
+		if i == n/2 {
+			blocksAtCrash = coord.(*track.BlockCoord).Blocks()
+			standby, _ = track.NewDeterministic(k, 0.1)
+			crash := sim.Now() + 1
+			sim.ScheduleCoordCrash(crash)
+			sim.ScheduleCoordTakeover(crash+8*model.HeartbeatEvery, standby)
+		}
+	}
+	sim.Flush()
+	if got := sim.Stats().CoordTakeovers; got != 1 {
+		t.Fatalf("coordinator takeovers = %d, want 1", got)
+	}
+	if got := standby.(*track.BlockCoord).Blocks(); got == 0 {
+		t.Fatalf("no block completed under the cold standby: protocol wedged (had %d pre-crash)",
+			blocksAtCrash)
+	}
+}
+
+// TestHeartbeatFalseSuspicionRescind pins the detector's rescind path: a
+// partition long enough to trip the miss threshold latches a death
+// verdict, but the site never crashed — when its heartbeats resume, the
+// runtime must rescind the verdict (no takeover ever comes to clear it)
+// and the coordinator must stop excusing the slot from collections, or
+// the excused site's reply content leaks for the rest of the run.
+func TestHeartbeatFalseSuspicionRescind(t *testing.T) {
+	const k, n, eps = 4, 40_000, 0.1
+	const victim = 2
+	model := dist.NetModel{Latency: 2, Jitter: 3, Retrans: 6,
+		HeartbeatEvery: 32, HeartbeatMiss: 3}
+	coord, sites := track.NewDeterministic(k, eps)
+	sim := dist.NewAsyncSim(coord, sites, model, 17)
+	st := stream.NewAssign(stream.BiasedWalk(n, 0.3, 31), stream.NewRoundRobin(k))
+	var f int64
+	suspectedSeen := false
+	i := 0
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		f += u.Delta
+		sim.Step(u)
+		i++
+		if i == n/2 {
+			// Partition the victim for 10 heartbeat periods: miss 3 at
+			// every-32 trips the detector well inside the window.
+			down := sim.Now() + 1
+			sim.ScheduleDown(victim, down)
+			sim.ScheduleUp(victim, down+10*model.HeartbeatEvery)
+		}
+		if sim.Suspected(victim) {
+			suspectedSeen = true
+		}
+	}
+	sim.Flush()
+	if !suspectedSeen {
+		t.Fatalf("partition never tripped the detector; the test exercises nothing")
+	}
+	if sim.Suspected(victim) {
+		t.Fatalf("suspicion not rescinded after heartbeats resumed")
+	}
+	if coord.(*track.BlockCoord).SiteDead(victim) {
+		t.Fatalf("coordinator still excuses the rescinded slot from collections")
+	}
+	stats := sim.Stats()
+	if stats.Takeovers != 0 || stats.CoordTakeovers != 0 {
+		t.Fatalf("phantom takeover on a false suspicion: %+v", stats)
+	}
+	est := sim.Estimate()
+	diff := est - f
+	if diff < 0 {
+		diff = -diff
+	}
+	bound := eps * float64(f)
+	if bound < 0 {
+		bound = -bound
+	}
+	if float64(diff) > bound {
+		t.Fatalf("estimate %d vs exact %d: |err|=%d exceeds ε·f=%.1f after rescinded suspicion",
+			est, f, diff, bound)
+	}
+}

@@ -23,6 +23,19 @@ package dist
 // link-FIFO floor, and touch no message Stats — a crash-free run with
 // heartbeats enabled is byte-identical to one without, even under faulty
 // models. They fail to arrive only when the slot is partitioned or dead.
+//
+// The coordinator slot crash-faults the same way (ScheduleCoordCrash /
+// ScheduleCoordTakeover): every delivery is stamped with the coordinator
+// incarnation too (event.cepoch), crash and takeover each increment it, and
+// anything in flight across the outage — site reports sent before the
+// crash, reports sent into the dead slot, broadcasts the old coordinator
+// emitted — is dropped, never folded into the standby. The standby arrives
+// warm (restored from a track.RestoreCoord snapshot by the caller) and the
+// splice fires CoordTakeover.OnCoordTakeover once per site, opening the
+// KindCoordTakeover handshake that re-derives whatever reply content the
+// snapshot never saw. Unlike a dead site's local updates, nothing is queued
+// for the dead coordinator: AsyncSim models the announce/ack resync, while
+// backlog replay is the TCP transport's job.
 
 // ScheduleCrash crash-faults site at virtual tick at. Crashing an
 // already-crashed slot is a no-op.
@@ -56,6 +69,38 @@ func (s *AsyncSim) ReplaceSite(site int, algo SiteAlgo) {
 		s.batchSites[site] = nil
 	}
 }
+
+// ScheduleCoordCrash crash-faults the coordinator at virtual tick at.
+// Crashing an already-crashed coordinator is a no-op.
+func (s *AsyncSim) ScheduleCoordCrash(at int64) {
+	e := event{at: at, kind: evCoordCrash}
+	s.pushEvent(&e)
+}
+
+// ScheduleCoordTakeover splices algo into the coordinator slot at virtual
+// tick at, provided the coordinator is crashed by then (otherwise the event
+// is a no-op). At most one coordinator takeover may be outstanding;
+// scheduling another replaces the pending algorithm. The splice fires
+// CoordTakeover.OnCoordTakeover once per site if algo implements it.
+func (s *AsyncSim) ScheduleCoordTakeover(at int64, algo CoordAlgo) {
+	if algo == nil {
+		panic("dist: ScheduleCoordTakeover needs a coordinator algorithm")
+	}
+	s.coordStandby = algo
+	e := event{at: at, kind: evCoordTakeover}
+	s.pushEvent(&e)
+}
+
+// ReplaceCoord swaps the coordinator algorithm in place, with no protocol
+// traffic, no epoch change, and no crash required. It exists for the
+// snapshot property tests: the caller guarantees the replacement's state is
+// identical to the old algorithm's (track.RestoreCoord), so the swap is
+// unobservable.
+func (s *AsyncSim) ReplaceCoord(algo CoordAlgo) { s.coord = algo }
+
+// CoordCrashed reports whether the coordinator slot is currently
+// crash-faulted.
+func (s *AsyncSim) CoordCrashed() bool { return s.coordCrashed }
 
 // Crashed reports whether site's slot is currently crash-faulted.
 func (s *AsyncSim) Crashed(site int) bool { return s.crashed[site] }
@@ -118,6 +163,39 @@ func (s *AsyncSim) processTakeover(e *event) {
 	}
 }
 
+func (s *AsyncSim) processCoordCrash(e *event) {
+	if s.coordCrashed {
+		return
+	}
+	s.coordCrashed = true
+	s.coordEpoch++
+}
+
+func (s *AsyncSim) processCoordTakeover(e *event) {
+	algo := s.coordStandby
+	s.coordStandby = nil
+	if algo == nil || !s.coordCrashed {
+		return
+	}
+	s.coordCrashed = false
+	s.coordEpoch++
+	s.coord = algo
+	s.stats.CoordTakeovers++
+	// The standby's detector starts from a clean slate: every site gets a
+	// grace period as if it had just beaconed (its beacons during the
+	// outage went nowhere — that is the old coordinator's loss, not the
+	// site's), while verdicts already reached before the crash stand.
+	for i := range s.sites {
+		s.lastSeen[i] = e.at
+		s.hbRun[i] = 0
+	}
+	if t, ok := algo.(CoordTakeover); ok {
+		for i := range s.sites {
+			t.OnCoordTakeover(i, int64(s.coordEpoch), s.coordOut)
+		}
+	}
+}
+
 func (s *AsyncSim) processHeartbeat(e *event) {
 	site := int(e.to)
 	if s.closing || s.crashed[site] {
@@ -126,7 +204,7 @@ func (s *AsyncSim) processHeartbeat(e *event) {
 	s.stats.HeartbeatsSent++
 	if !s.down[site] {
 		a := event{at: e.at + s.model.Latency, kind: evHbArrive, to: e.to,
-			epoch: s.epoch[site]}
+			epoch: s.epoch[site], cepoch: s.coordEpoch}
 		s.pushEvent(&a)
 	}
 	next := event{at: e.at + s.model.HeartbeatEvery, kind: evHeartbeat, to: e.to}
@@ -135,15 +213,35 @@ func (s *AsyncSim) processHeartbeat(e *event) {
 
 func (s *AsyncSim) processHbArrive(e *event) {
 	site := int(e.to)
-	if s.crashed[site] || s.epoch[site] != e.epoch || s.down[site] {
-		return // lost: the incarnation died, or the partition ate it
+	if s.crashed[site] || s.epoch[site] != e.epoch || s.down[site] ||
+		s.coordCrashed || e.cepoch != s.coordEpoch {
+		return // lost: an incarnation died, or the partition ate it
 	}
 	s.stats.HeartbeatsRecv++
 	s.lastSeen[site] = e.at
+	if s.suspected[site] {
+		// The site was declared dead but its incarnation still beacons: the
+		// verdict was a false positive (a partition outlasting the miss
+		// budget, not a crash). Rescind it so the algorithm stops excusing
+		// the slot from collections — latched suspicion would otherwise
+		// leak the site's reply content until a takeover that never comes.
+		s.suspected[site] = false
+		s.hbRun[site] = 0
+		if h, ok := s.coord.(CoordRecoverHandler); ok {
+			h.OnSiteAlive(site, s.coordOut)
+		}
+	}
 }
 
 func (s *AsyncSim) processHbCheck(e *event) {
 	if s.closing {
+		return
+	}
+	if s.coordCrashed {
+		// No detector runs while the coordinator is dead; the chain keeps
+		// ticking so the standby's detector resumes after the takeover.
+		next := event{at: e.at + s.model.HeartbeatEvery, kind: evHbCheck}
+		s.pushEvent(&next)
 		return
 	}
 	every := s.model.HeartbeatEvery

@@ -55,6 +55,17 @@ const (
 	// watermark for the slot, which decides whether snapshot-era uncollected
 	// state is merged or discarded (see track.BlockSite).
 	KindTakeover
+	// KindCoordTakeover splices a standby coordinator into the dead
+	// coordinator's slot. Coordinator-to-site it is the announcement, sent
+	// to each site as the standby reaches it: Item is the standby snapshot's
+	// integrity hash, A the new coordinator epoch, B the standby's
+	// counted-replies-received watermark for the destination slot.
+	// Site-to-coordinator it is the acknowledgement carrying the site's
+	// lifetime reply books — Item the total update count reported through
+	// state replies, A the replies-sent count, B the total net change
+	// reported — from which the standby folds exactly the content its
+	// snapshot never saw (see track.BlockCoord).
+	KindCoordTakeover
 )
 
 // Transport-internal kinds. Frames with these kinds never reach algorithms

@@ -151,6 +151,18 @@ type Coordinator struct {
 	lastSeen []time.Time
 	hbRun    []int
 	dead     []bool
+	// seenSinceTk[i] records whether any heartbeat from site i arrived since
+	// the slot's last takeover: a replacement that loses its first connection
+	// before beaconing and re-dials is the same logical takeover, so the
+	// second dial must not count again (see Stats.Takeovers).
+	seenSinceTk []bool
+
+	// Standby mode (ListenCoordinatorStandby): the coordinator is a
+	// replacement for a dead predecessor, and each site's first registration
+	// fires the CoordTakeover announcement — before any of that site's
+	// frames are read, so the announce is the first frame the site receives.
+	standbyEpoch int64
+	announced    []bool
 
 	wg sync.WaitGroup
 }
@@ -166,6 +178,31 @@ func ListenCoordinator(addr string, k int, algo CoordAlgo) (*Coordinator, error)
 		return nil, err
 	}
 	c := &Coordinator{ln: ln, k: k, algo: algo, conns: make([]*connWriter, k)}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// ListenCoordinatorStandby starts a standby coordinator: a replacement for
+// a crashed coordinator, serving an algorithm the caller typically restored
+// from a snapshot (track.RestoreCoord). It differs from ListenCoordinator
+// in the handshake only — as each site registers for the first time, the
+// algorithm's CoordTakeover hook announces the new coordinator epoch to it
+// (KindCoordTakeover) before any of that site's frames are read, and the
+// takeover is counted once in Stats.CoordTakeovers. Sites re-dial with
+// DialNetSiteRetry, replaying whatever frames they buffered while the old
+// coordinator was down after their dial returns.
+func ListenCoordinatorStandby(addr string, k int, algo CoordAlgo, epoch int64) (*Coordinator, error) {
+	if k <= 0 {
+		return nil, errors.New("dist: ListenCoordinatorStandby needs k > 0")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{ln: ln, k: k, algo: algo, conns: make([]*connWriter, k),
+		standbyEpoch: epoch, announced: make([]bool, k)}
+	c.stats.CoordTakeovers = 1
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return c, nil
@@ -232,13 +269,27 @@ func (c *Coordinator) serve(conn net.Conn) {
 			// death verdict and run the control-plane hook before any of
 			// the new connection's frames are read, so the hook's output
 			// (attach re-announcements) is queued ahead of the replies the
-			// replacement's own announcement will trigger.
+			// replacement's own announcement will trigger. Count the
+			// takeover only if the slot was seen alive since the last one:
+			// a replacement whose first connection died before it ever
+			// beaconed re-dials as the same logical takeover.
 			c.dead[id] = false
 			c.hbRun[id] = 0
-			c.stats.Takeovers++
+			if c.seenSinceTk[id] {
+				c.stats.Takeovers++
+			}
+			c.seenSinceTk[id] = false
 			if h, ok := c.algo.(CoordTakeoverHandler); ok {
 				h.OnSiteTakeover(id, coordOutbox{c})
 			}
+		}
+	}
+	if c.announced != nil && !c.announced[id] {
+		// Standby mode: the coordinator-side takeover announcement is the
+		// first frame a re-connecting site receives.
+		c.announced[id] = true
+		if t, ok := c.algo.(CoordTakeover); ok {
+			t.OnCoordTakeover(id, c.standbyEpoch, coordOutbox{c})
 		}
 	}
 	c.mu.Unlock()
@@ -276,6 +327,19 @@ func (c *Coordinator) serve(conn net.Conn) {
 			c.stats.HeartbeatsRecv++
 			if c.fdStop != nil {
 				c.lastSeen[id] = time.Now()
+				c.seenSinceTk[id] = true
+				if c.dead[id] {
+					// The declared-dead site still beacons on its original
+					// connection: the verdict was a false positive (a stall,
+					// not a crash). Rescind it — a real crash kills the
+					// connection, and its replacement re-enters through the
+					// re-dial takeover path above, never through here.
+					c.dead[id] = false
+					c.hbRun[id] = 0
+					if h, ok := c.algo.(CoordRecoverHandler); ok {
+						h.OnSiteAlive(id, coordOutbox{c})
+					}
+				}
 			}
 			c.mu.Unlock()
 		case kindBarrier:
@@ -432,6 +496,10 @@ func (c *Coordinator) SetFailureDetection(every time.Duration, miss int) {
 	}
 	c.hbRun = make([]int, c.k)
 	c.dead = make([]bool, c.k)
+	c.seenSinceTk = make([]bool, c.k)
+	for i := range c.seenSinceTk {
+		c.seenSinceTk[i] = true
+	}
 	c.wg.Add(1)
 	go c.checkLoop()
 }

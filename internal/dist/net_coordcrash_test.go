@@ -1,0 +1,220 @@
+package dist_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/stream"
+	"repro/internal/track"
+)
+
+// TestNetCoordCrashStandbyTakeover is the coordinator kill-and-standby
+// story on real TCP: kill the coordinator mid-stream, buffer each site's
+// updates while it is down, then bring up a standby restored from a
+// pre-kill snapshot on a fresh address, re-dial every site into it — the
+// standby's KindCoordTakeover announce is the first frame each one receives
+// — replay the buffered updates, and require the final estimate to meet the
+// tracker's ε bound.
+func TestNetCoordCrashStandbyTakeover(t *testing.T) {
+	const k, n = 3, 9_000
+	const eps = 0.1
+	const hb = 10 * time.Millisecond
+
+	coordAlgo, siteAlgos := track.NewDeterministic(k, eps)
+	coord, err := dist.ListenCoordinator("127.0.0.1:0", k, coordAlgo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.SetFailureDetection(hb, 3)
+
+	sites := make([]*dist.NetSite, k)
+	for i := 0; i < k; i++ {
+		s, err := dist.DialNetSiteRetry(coord.Addr(), i, siteAlgos[i], 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.StartHeartbeats(hb)
+		sites[i] = s
+	}
+
+	ups := stream.Collect(stream.NewAssign(
+		stream.BiasedWalk(n, 0.3, 41), stream.NewRoundRobin(k)))
+	var f int64
+
+	// Phase 1: the original coordinator serves.
+	for _, u := range ups[:n/3] {
+		f += u.Delta
+		sites[u.Site].Update(u)
+	}
+	// Quiesce every connection, then checkpoint the coordinator under its
+	// lock — a periodic snapshot a real deployment would be writing anyway.
+	for i := 0; i < k; i++ {
+		if err := sites[i].Barrier(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap []byte
+	coord.Inject(func(dist.Outbox) {
+		snap, err = track.SnapshotCoord(coordAlgo)
+	})
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+
+	// Kill the coordinator process. The sites outlive it: their connections
+	// die, and their share of the stream is buffered locally until a
+	// replacement coordinator appears.
+	coord.Close()
+	for i := 0; i < k; i++ {
+		sites[i].Close()
+	}
+
+	// Phase 2: outage. Every update is buffered at its site.
+	backlog := make([][]stream.Update, k)
+	for _, u := range ups[n/3 : 2*n/3] {
+		f += u.Delta
+		backlog[u.Site] = append(backlog[u.Site], u)
+	}
+
+	// Standby: restore the checkpoint into a fresh coordinator and listen on
+	// a fresh address; each site re-dials — the takeover announce is the
+	// first frame it receives — and replays its backlog behind the
+	// handshake.
+	freshAlgo, _ := track.NewDeterministic(k, eps)
+	if err := track.RestoreCoord(freshAlgo, snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	standby, err := dist.ListenCoordinatorStandby("127.0.0.1:0", k, freshAlgo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer standby.Close()
+	standby.SetFailureDetection(hb, 3)
+	for i := 0; i < k; i++ {
+		s, err := dist.DialNetSiteRetry(standby.Addr(), i, siteAlgos[i], 2*time.Second)
+		if err != nil {
+			t.Fatalf("re-dial site %d: %v", i, err)
+		}
+		defer s.Close()
+		s.StartHeartbeats(hb)
+		sites[i] = s
+		for _, u := range backlog[i] {
+			f += 0 // already counted above
+			s.Update(u)
+		}
+	}
+
+	// Phase 3: fully healed.
+	for _, u := range ups[2*n/3:] {
+		f += u.Delta
+		sites[u.Site].Update(u)
+	}
+
+	// Quiesce: barrier rounds until the standby's stats settle.
+	prev := dist.Stats{}
+	for round := 0; round < 20; round++ {
+		for i := 0; i < k; i++ {
+			if err := sites[i].Barrier(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := standby.Stats()
+		if st.WithoutLiveness() == prev.WithoutLiveness() {
+			break
+		}
+		prev = st
+	}
+
+	stats := standby.Stats()
+	if stats.CoordTakeovers != 1 {
+		t.Fatalf("coordinator takeovers = %d, want 1: %+v", stats.CoordTakeovers, stats)
+	}
+	if err := standby.Err(); err != nil {
+		t.Fatalf("transport error on the standby: %v", err)
+	}
+	est := standby.Estimate()
+	diff := absDiff64(f, est)
+	bound := eps * float64(absDiff64(f, 0))
+	if float64(diff) > bound+1e-9 {
+		t.Fatalf("estimate %d vs exact %d: |err|=%d exceeds ε·f=%.1f after standby takeover",
+			est, f, diff, bound)
+	}
+}
+
+// TestNetTakeoverNoDoubleCount pins Stats.Takeovers against re-dial
+// inflation: a replacement whose first connection dies before it ever
+// beacons is the same logical takeover when it re-dials, so the counter
+// must not move again — but a slot seen alive in between counts anew.
+func TestNetTakeoverNoDoubleCount(t *testing.T) {
+	const hb = 10 * time.Millisecond
+	coordAlgo, siteAlgos := track.NewDeterministic(1, 0.5)
+	coord, err := dist.ListenCoordinator("127.0.0.1:0", 1, coordAlgo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	coord.SetFailureDetection(hb, 3)
+
+	waitDead := func(what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !coord.SiteDead(0) {
+			if time.Now().After(deadline) {
+				t.Fatalf("detector never declared the slot dead (%s)", what)
+			}
+			time.Sleep(hb)
+		}
+	}
+
+	// Original site: beacons, then dies.
+	s, err := dist.DialNetSiteRetry(coord.Addr(), 0, siteAlgos[0], 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StartHeartbeats(hb)
+	time.Sleep(3 * hb) // let at least one beacon land
+	s.Close()
+	waitDead("original")
+
+	// First replacement: takes over but dies before ever beaconing.
+	r1, err := dist.DialNetSiteRetry(coord.Addr(), 0, siteAlgos[0], 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := coord.Stats().Takeovers; got != 1 {
+		t.Fatalf("takeovers after first replacement = %d, want 1", got)
+	}
+	r1.Close()
+	waitDead("silent replacement")
+
+	// Second dial of the same logical takeover: must not count again.
+	r2, err := dist.DialNetSiteRetry(coord.Addr(), 0, siteAlgos[0], 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := coord.Stats().Takeovers; got != 1 {
+		t.Fatalf("takeovers after re-dial = %d, want 1 (re-dial double-counted)", got)
+	}
+
+	// Once the slot beacons again, a later takeover is a new one.
+	before := coord.Stats().HeartbeatsRecv
+	r2.StartHeartbeats(hb)
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.Stats().HeartbeatsRecv == before {
+		if time.Now().After(deadline) {
+			t.Fatalf("replacement heartbeats never arrived")
+		}
+		time.Sleep(hb)
+	}
+	r2.Close()
+	waitDead("beaconing replacement")
+	r3, err := dist.DialNetSiteRetry(coord.Addr(), 0, siteAlgos[0], 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Close()
+	if got := coord.Stats().Takeovers; got != 2 {
+		t.Fatalf("takeovers after second logical takeover = %d, want 2", got)
+	}
+}

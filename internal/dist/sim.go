@@ -272,6 +272,11 @@ func (s *Sim) ReplaceSite(site int, algo SiteAlgo) {
 	}
 }
 
+// ReplaceCoord swaps the coordinator algorithm in place with no protocol
+// traffic — ReplaceSite's coordinator-side twin, for the coordinator
+// snapshot property tests (track.RestoreCoord).
+func (s *Sim) ReplaceCoord(algo CoordAlgo) { s.coord = algo }
+
 // Estimate returns the coordinator's current estimate f̂.
 func (s *Sim) Estimate() int64 { return s.coord.Estimate() }
 

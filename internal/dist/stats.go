@@ -53,8 +53,20 @@ type Stats struct {
 	// HeartbeatMisses counts detector check intervals in which an expected
 	// heartbeat was overdue.
 	HeartbeatMisses int64
-	// Takeovers counts replacement sites spliced into dead slots.
+	// Takeovers counts replacement sites spliced into dead slots. A
+	// replacement that loses its first connection before completing the
+	// takeover handshake and re-dials counts once, not once per dial (the
+	// TCP coordinator tracks whether the slot was seen alive in between).
 	Takeovers int64
+	// CoordTakeovers counts standby coordinators spliced into the dead
+	// coordinator slot.
+	CoordTakeovers int64
+	// EpochDrops is the subset of Dropped lost to incarnation gating rather
+	// than to the fault model's network loss: the message crossed a crashed
+	// slot, or belonged to a node incarnation (site epoch or coordinator
+	// epoch) that was no longer current at delivery time. Such messages are
+	// never folded into algorithm state.
+	EpochDrops int64
 }
 
 // WithoutLiveness returns s with the liveness counters zeroed — the shape
@@ -65,6 +77,8 @@ func (s Stats) WithoutLiveness() Stats {
 	s.HeartbeatsRecv = 0
 	s.HeartbeatMisses = 0
 	s.Takeovers = 0
+	s.CoordTakeovers = 0
+	s.EpochDrops = 0
 	return s
 }
 

@@ -1,0 +1,73 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChaosInvariantSoak is the CI soak: 20 seeded schedules at quick
+// scale, every one of which must satisfy the full invariant set. A
+// violation fails with the schedule and the complete violation list, so
+// a reproduction is one chaosRun call away.
+func TestChaosInvariantSoak(t *testing.T) {
+	const k, segments, n = 4, 6, 9_000
+	const schedules = 20
+	randOver, randChecked := 0, 0
+	for s := 0; s < schedules; s++ {
+		seed := uint64(1 + s*101)
+		faults, out := chaosRun(seed, k, n, segments)
+		if len(out.violations) > 0 {
+			t.Errorf("seed %d (schedule %q): %s",
+				seed, chaosScheduleString(faults), strings.Join(out.violations, "; "))
+		}
+		randOver += out.randOverEps
+		randChecked++
+	}
+	// The randomized query's per-endpoint guarantee is P(>ε) < 1/3; the
+	// per-schedule invariant backstops at 3ε, and this aggregate check
+	// bounds the strict-ε excursion fraction across the soak.
+	if 3*randOver > randChecked {
+		t.Errorf("randomized query exceeded strict ε in %d/%d schedules (> 1/3)",
+			randOver, randChecked)
+	}
+}
+
+// TestChaosScheduleDeterministic pins the generator: the same seed must
+// yield the same schedule and the same outcome, or CI failures stop
+// being reproducible.
+func TestChaosScheduleDeterministic(t *testing.T) {
+	const k, segments, n = 4, 6, 4_000
+	fa, oa := chaosRun(42, k, n, segments)
+	fb, ob := chaosRun(42, k, n, segments)
+	if len(fa) != len(fb) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(fa), len(fb))
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("fault %d differs: %+v vs %+v", i, fa[i], fb[i])
+		}
+	}
+	if oa.stats != ob.stats {
+		t.Fatalf("outcomes differ for one seed:\n%+v\n%+v", oa.stats, ob.stats)
+	}
+}
+
+// TestChaosSchedulesCoverKinds makes sure the soak's seed set actually
+// exercises all three fault kinds — a generator regression that stopped
+// drawing coordinator crashes would otherwise turn the soak green and
+// hollow.
+func TestChaosSchedulesCoverKinds(t *testing.T) {
+	const k, segments, n = 4, 6, 9_000
+	var seen [3]int
+	for s := 0; s < 20; s++ {
+		faults, _ := chaosRun(uint64(1+s*101), k, n, segments)
+		for _, f := range faults {
+			seen[f.kind]++
+		}
+	}
+	for kind, c := range seen {
+		if c == 0 {
+			t.Fatalf("the soak's 20 schedules never draw a %s fault", chaosKindNames[kind])
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Package expt is the experiment harness: one function per experiment in
-// DESIGN.md's index (E01–E31), each returning a Table of paper-vs-measured
+// DESIGN.md's index (E01–E32), each returning a Table of paper-vs-measured
 // values. The cmd/varbench CLI renders them; bench_test.go at the module
 // root wraps each one in a testing.B benchmark; EXPERIMENTS.md records a
 // full run.
@@ -179,6 +179,7 @@ func All() []Experiment {
 		{"E29", "multi-query engine: dynamic attach convergence", E29DynamicAttach},
 		{"E30", "engine batch fast path: amortization and identity", E30EngineBatch},
 		{"E31", "crash-fault takeover: warm vs naive replacement", E31CrashTakeover},
+		{"E32", "chaos schedules: composed faults vs the invariant set", E32ChaosSchedules},
 	}
 }
 

@@ -46,3 +46,44 @@ func (s *freqSite) RestoreSnapshot(r *track.SnapReader) {
 		s.cells[c] = &cellState{count: r.Int(), mirror: r.Int()}
 	}
 }
+
+// AppendSnapshot implements track.InBlockSnapshotter for the coordinator
+// half: the merged counter table in sorted cell order (so equal state
+// yields byte-equal blobs) plus the per-site F1 drift estimator. Tracker
+// embeds *track.BlockCoord, so the spine's coordinator snapshot methods
+// promote and this in-block layer is all the freq package contributes.
+func (c *freqCoord) AppendSnapshot(b []byte) []byte {
+	b = append(b, track.SnapTagFreqCoord)
+	keys := make([]uint64, 0, len(c.est))
+	for cell := range c.est {
+		keys = append(keys, cell)
+	}
+	slices.Sort(keys)
+	b = track.AppendSnapUint(b, uint64(len(keys)))
+	for _, cell := range keys {
+		b = track.AppendSnapUint(b, cell)
+		b = track.AppendSnapInt(b, c.est[cell])
+	}
+	b = track.AppendSnapUint(b, uint64(len(c.f1Dhat)))
+	for _, v := range c.f1Dhat {
+		b = track.AppendSnapInt(b, v)
+	}
+	return track.AppendSnapInt(b, c.f1Sum)
+}
+
+// RestoreSnapshot implements track.InBlockSnapshotter.
+func (c *freqCoord) RestoreSnapshot(r *track.SnapReader) {
+	r.Tag(track.SnapTagFreqCoord)
+	n := r.Uint()
+	clear(c.est)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		cell := r.Uint()
+		c.est[cell] = r.Int()
+	}
+	if m := r.Uint(); r.Err() == nil && m == uint64(len(c.f1Dhat)) {
+		for i := range c.f1Dhat {
+			c.f1Dhat[i] = r.Int()
+		}
+		c.f1Sum = r.Int()
+	}
+}

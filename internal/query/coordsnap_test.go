@@ -1,0 +1,280 @@
+package query_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/query"
+	"repro/internal/stream"
+	"repro/internal/track"
+)
+
+// snapEngCoordRuntime is what the coordinator round-trip driver needs from
+// either runtime.
+type snapEngCoordRuntime interface {
+	Step(u stream.Update)
+	Stats() dist.Stats
+	ClassStats() []dist.Stats
+	ReplaceCoord(algo dist.CoordAlgo)
+	Inject(fn func(dist.Outbox))
+}
+
+// driveEngineCoordSnap runs ups through a fresh engine, optionally
+// snapshotting the engine coordinator at index cut and splicing in a fresh
+// engine coordinator (built over the same specs) restored from the blob.
+// cut < 0 is the reference run. When detachAt ≥ 0, query detachQ is
+// detached at that index — in both runs, so the blob's detached section is
+// exercised by the comparison.
+func driveEngineCoordSnap(t *testing.T, k int, specs []query.Spec, async bool,
+	ups []stream.Update, cut, detachAt, detachQ int) engRun {
+	t.Helper()
+	eng, esites, err := query.New(k, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := eng
+	var rt snapEngCoordRuntime
+	var rec *func(dist.TranscriptEntry)
+	flush := func() {}
+	if async {
+		sim := dist.NewAsyncSim(eng, esites, dist.NetModel{Latency: 3, Jitter: 2}, 7)
+		sim.SetClassifier(eng)
+		rec = &sim.Recorder
+		flush = sim.Flush
+		rt = sim
+	} else {
+		sim := dist.NewSim(eng, esites)
+		sim.SetClassifier(eng)
+		rec = &sim.Recorder
+		rt = sim
+	}
+	out := engRun{ests: make([][]int64, len(specs))}
+	*rec = func(e dist.TranscriptEntry) { out.transcript = append(out.transcript, e) }
+	for i, u := range ups {
+		if i == detachAt {
+			rt.Inject(func(o dist.Outbox) {
+				if err := coord.Detach(detachQ, o); err != nil {
+					t.Fatalf("detach at %d: %v", detachAt, err)
+				}
+			})
+		}
+		if i == cut {
+			snap, err := track.SnapshotCoord(coord)
+			if err != nil {
+				t.Fatalf("snapshot at %d: %v", cut, err)
+			}
+			fresh, _, err := query.New(k, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := track.RestoreCoord(fresh, snap); err != nil {
+				t.Fatalf("restore at %d: %v", cut, err)
+			}
+			rt.ReplaceCoord(fresh)
+			coord = fresh
+		}
+		rt.Step(u)
+		for qid := range specs {
+			est, ok := coord.EstimateQuery(qid)
+			if !ok {
+				t.Fatalf("query %d vanished", qid)
+			}
+			out.ests[qid] = append(out.ests[qid], est)
+		}
+	}
+	flush()
+	out.stats = rt.Stats()
+	out.classStats = rt.ClassStats()
+	return out
+}
+
+// TestEngineCoordSnapshotRoundTrip extends the coordinator snapshot
+// round-trip property to the multi-query engine: at Q ∈ {1, 3, 8},
+// snapshotting the engine coordinator mid-run — one blob with per-query
+// sections — and splicing in a restored fresh engine is unobservable, on
+// Sim and on AsyncSim under latency. The Q = 3 case detaches a query before
+// the cut, so a frozen estimate rides through the failover too.
+func TestEngineCoordSnapshotRoundTrip(t *testing.T) {
+	const k, n = 4, 16_000
+	ups := itemStream(n, k, 19)
+	qsets := map[string][]query.Spec{
+		"q1": {{Algo: "det", Eps: 0.1}},
+		"q3": {
+			{Algo: "det", Eps: 0.1},
+			{Algo: "rand", Eps: 0.1, Seed: 21},
+			{Algo: "freq", Eps: 0.2},
+		},
+		"q8": {
+			{Algo: "det", Eps: 0.1},
+			{Algo: "rand", Eps: 0.1, Seed: 21},
+			{Algo: "freq", Eps: 0.2},
+			{Algo: "threshold", Eps: 0.3, Tau: 2_000},
+			{Algo: "det", Eps: 0.05},
+			{Algo: "rand", Eps: 0.2, Seed: 33},
+			{Algo: "freq", Eps: 0.1},
+			{Algo: "det", Eps: 0.2},
+		},
+	}
+	for qname, specs := range qsets {
+		detachAt, detachQ := -1, -1
+		if qname == "q3" {
+			detachAt, detachQ = n/4, 1
+		}
+		for _, async := range []bool{false, true} {
+			rname := map[bool]string{false: "sim", true: "async"}[async]
+			want := driveEngineCoordSnap(t, k, specs, async, ups, -1, detachAt, detachQ)
+			got := driveEngineCoordSnap(t, k, specs, async, ups, n/2, detachAt, detachQ)
+			if got.stats != want.stats {
+				t.Fatalf("%s/%s: stats %+v, want %+v", qname, rname, got.stats, want.stats)
+			}
+			if !reflect.DeepEqual(got.classStats, want.classStats) {
+				t.Fatalf("%s/%s: per-query stats diverge", qname, rname)
+			}
+			if !reflect.DeepEqual(got.ests, want.ests) {
+				t.Fatalf("%s/%s: per-query per-step estimates diverge", qname, rname)
+			}
+			if !reflect.DeepEqual(got.transcript, want.transcript) {
+				t.Fatalf("%s/%s: transcripts diverge (%d vs %d entries)",
+					qname, rname, len(got.transcript), len(want.transcript))
+			}
+		}
+	}
+}
+
+// TestEngineCoordCrashTakeover is the engine-level coordinator failover
+// story: crash the coordinator under a Q = 3 engine, splice in a standby
+// engine restored from a pre-crash snapshot, and require every query —
+// routed through its own section of the one blob and its own
+// KindCoordTakeover handshake — to track within its ε bound afterwards,
+// with the takeover counted once.
+func TestEngineCoordCrashTakeover(t *testing.T) {
+	const k, n = 4, 40_000
+	const eps = 0.1
+	specs := []query.Spec{
+		{Algo: "det", Eps: eps},
+		{Algo: "rand", Eps: eps, Seed: 9},
+		{Algo: "det", Eps: 0.05},
+	}
+	eng, esites, err := query.New(k, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := eng
+	model := dist.NetModel{Latency: 2, HeartbeatEvery: 32, HeartbeatMiss: 3}
+	sim := dist.NewAsyncSim(eng, esites, model, 13)
+	sim.SetClassifier(eng)
+	ups := itemStream(n, k, 23)
+	var f int64
+	for i, u := range ups {
+		f += u.Delta
+		sim.Step(u)
+		if i == n/2 {
+			snap, err := track.SnapshotCoord(eng)
+			if err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			fresh, _, err := query.New(k, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := track.RestoreCoord(fresh, snap); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			crash := sim.Now() + 1
+			sim.ScheduleCoordCrash(crash)
+			sim.ScheduleCoordTakeover(crash+8*model.HeartbeatEvery, fresh)
+			coord = fresh
+		}
+	}
+	sim.Flush()
+	stats := sim.Stats()
+	if stats.CoordTakeovers != 1 {
+		t.Fatalf("coordinator takeovers = %d, want 1", stats.CoordTakeovers)
+	}
+	if stats.EpochDrops == 0 || stats.EpochDrops > stats.Dropped {
+		t.Fatalf("implausible epoch accounting: %+v", stats)
+	}
+	// Per-query drops must sum to the aggregate, EpochDrops included.
+	var classDropped, classEpoch int64
+	for _, cs := range sim.ClassStats() {
+		classDropped += cs.Dropped
+		classEpoch += cs.EpochDrops
+	}
+	if classDropped != stats.Dropped || classEpoch != stats.EpochDrops {
+		t.Fatalf("per-query drops (%d/%d) do not sum to aggregate (%d/%d)",
+			classDropped, classEpoch, stats.Dropped, stats.EpochDrops)
+	}
+	for qid, spec := range specs {
+		est, ok := coord.EstimateQuery(qid)
+		if !ok {
+			t.Fatalf("query %d missing", qid)
+		}
+		diff := est - f
+		if diff < 0 {
+			diff = -diff
+		}
+		bound := spec.Eps * float64(f)
+		if bound < 0 {
+			bound = -bound
+		}
+		if float64(diff) > bound {
+			t.Fatalf("query %d: estimate %d vs exact %d: |err|=%d exceeds ε·f=%.1f",
+				qid, est, f, diff, bound)
+		}
+	}
+}
+
+// TestEngineCoordSnapshotRejects pins the engine blob's failure modes: bit
+// flips and truncation are caught by the integrity hash, and a blob naming
+// a query the restoring registry does not know is an error, not a silent
+// skip.
+func TestEngineCoordSnapshotRejects(t *testing.T) {
+	const k, n = 3, 8_000
+	specs := []query.Spec{
+		{Algo: "det", Eps: 0.1},
+		{Algo: "freq", Eps: 0.2},
+	}
+	eng, esites, err := query.New(k, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := dist.NewSim(eng, esites)
+	for _, u := range itemStream(n, k, 3) {
+		sim.Step(u)
+	}
+	snap, err := track.SnapshotCoord(eng)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+
+	fresh, _, _ := query.New(k, specs)
+	if err := track.RestoreCoord(fresh, snap); err != nil {
+		t.Fatalf("clean restore failed: %v", err)
+	}
+
+	flipped := append([]byte(nil), snap...)
+	flipped[len(flipped)/2] ^= 0x20
+	fresh, _, _ = query.New(k, specs)
+	if err := track.RestoreCoord(fresh, flipped); err == nil {
+		t.Fatalf("bit flip went undetected")
+	}
+
+	fresh, _, _ = query.New(k, specs)
+	if err := track.RestoreCoord(fresh, snap[:len(snap)-2]); err == nil {
+		t.Fatalf("truncation went undetected")
+	}
+
+	// The blob has two queries; an engine registered with only one must
+	// refuse it.
+	narrow, _, _ := query.New(k, specs[:1])
+	if err := track.RestoreCoord(narrow, snap); err == nil {
+		t.Fatalf("blob with unknown query restored silently")
+	}
+
+	// Wrong k.
+	fresh, _, _ = query.New(k+1, specs)
+	if err := track.RestoreCoord(fresh, snap); err == nil {
+		t.Fatalf("k=%d blob restored into k=%d engine", k, k+1)
+	}
+}

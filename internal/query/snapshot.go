@@ -164,6 +164,129 @@ func (s *Site) OnTakeover(out dist.Outbox) {
 	}
 }
 
+// AppendSnapshot implements track.CoordSnapshotter: the engine's dead-slot
+// marks, then every registered query's coordinator snapshot — detached ones
+// included, so frozen estimates survive a failover — length-prefixed and
+// keyed by query id. The engine coordinator holds no other state: specs are
+// re-registered by the restoring process, and the registry's site halves
+// belong to the sites, not to this blob.
+func (c *Coord) AppendSnapshot(b []byte) ([]byte, error) {
+	b = append(b, track.SnapTagQueryCoord)
+	b = track.AppendSnapUint(b, uint64(c.eng.k))
+	for _, dead := range c.eng.dead {
+		var d uint64
+		if dead {
+			d = 1
+		}
+		b = track.AppendSnapUint(b, d)
+	}
+	qs := c.eng.snapshot()
+	b = track.AppendSnapUint(b, uint64(len(qs)))
+	for qid, q := range qs {
+		cs, ok := q.coord.(track.CoordSnapshotter)
+		if !ok {
+			return nil, fmt.Errorf("query: coordinator %d (%T) does not support snapshots", qid, q.coord)
+		}
+		blob, err := cs.AppendSnapshot(nil)
+		if err != nil {
+			return nil, fmt.Errorf("query: coordinator %d: %w", qid, err)
+		}
+		var det uint64
+		if q.detached {
+			det = 1
+		}
+		b = track.AppendSnapUint(b, uint64(qid))
+		b = track.AppendSnapUint(b, det)
+		b = track.AppendSnapUint(b, uint64(len(blob)))
+		b = append(b, blob...)
+	}
+	return b, nil
+}
+
+// RestoreSnapshot implements track.CoordSnapshotter. The restoring process
+// builds the engine with query.New over the same specs first; each blob
+// section is then restored in place into the registered query's coordinator
+// (so the engine's cached fast-path pointers stay valid). A blob for a query
+// the registry does not know is an error; a blob marked detached freezes the
+// query exactly as Detach would, minus the broadcast — the sites already
+// know.
+func (c *Coord) RestoreSnapshot(r *track.SnapReader) error {
+	r.Tag(track.SnapTagQueryCoord)
+	if k := r.Uint(); r.Err() == nil && k != uint64(c.eng.k) {
+		return fmt.Errorf("query: coordinator snapshot is for k=%d, restoring into k=%d", k, c.eng.k)
+	}
+	for i := range c.eng.dead {
+		c.eng.dead[i] = r.Uint() == 1
+	}
+	qs := c.eng.snapshot()
+	nq := r.Uint()
+	for i := uint64(0); i < nq && r.Err() == nil; i++ {
+		qid := int(r.Uint())
+		detached := r.Uint() == 1
+		blob := r.Bytes(r.Uint())
+		if r.Err() != nil {
+			break
+		}
+		if qid < 0 || qid >= len(qs) {
+			return fmt.Errorf("query: snapshot names unknown query %d (register the same specs before restoring)", qid)
+		}
+		q := qs[qid]
+		cs, ok := q.coord.(track.CoordSnapshotter)
+		if !ok {
+			return fmt.Errorf("query: coordinator %d (%T) does not support snapshots", qid, q.coord)
+		}
+		sr := track.NewSnapReader(blob)
+		if err := cs.RestoreSnapshot(sr); err != nil {
+			return fmt.Errorf("query: coordinator %d: %w", qid, err)
+		}
+		if sr.Err() != nil {
+			return fmt.Errorf("query: coordinator %d: %w", qid, sr.Err())
+		}
+		if sr.Len() != 0 {
+			return fmt.Errorf("query: coordinator %d: %d trailing bytes", qid, sr.Len())
+		}
+		if detached && !q.detached {
+			q.detached = true
+			if qid == 0 {
+				c.eng.est0.Store(nil)
+			}
+		}
+	}
+	return r.Err()
+}
+
+// SetSnapshotHash implements track.SnapshotHashSetter by fan-out: every
+// restored child coordinator presents the same engine-level blob hash in
+// its KindCoordTakeover announcements.
+func (c *Coord) SetSnapshotHash(h uint64) {
+	for _, q := range c.eng.snapshot() {
+		if hs, ok := q.coord.(track.SnapshotHashSetter); ok {
+			hs.SetSnapshotHash(h)
+		}
+	}
+}
+
+// OnCoordTakeover implements dist.CoordTakeover: the standby engine reached
+// site. Re-announce every live query first (idempotent — and a site that
+// missed an attach whose broadcast died with the old coordinator builds the
+// child now, just in time to answer its handshake), then fan the
+// announcement out to each child coordinator through the tagged outbox.
+func (c *Coord) OnCoordTakeover(site int, epoch int64, out dist.Outbox) {
+	if site < 0 || site >= c.eng.k {
+		return
+	}
+	for qid, q := range c.eng.snapshot() {
+		if q.detached {
+			continue
+		}
+		out.SendTo(site, attachMsg(qid))
+		if t, ok := q.coord.(dist.CoordTakeover); ok {
+			q.coordOut.reset(out)
+			t.OnCoordTakeover(site, epoch, &q.coordOut)
+		}
+	}
+}
+
 // OnSiteDead implements dist.CoordFailureHandler: record the dead slot at
 // the engine (so queries attached later excuse it too) and fan the hook out
 // to every live query's coordinator for graceful degradation.
@@ -179,6 +302,26 @@ func (c *Coord) OnSiteDead(site int, out dist.Outbox) {
 		if h, ok := q.coord.(dist.CoordFailureHandler); ok {
 			q.coordOut.reset(out)
 			h.OnSiteDead(site, &q.coordOut)
+		}
+	}
+}
+
+// OnSiteAlive implements dist.CoordRecoverHandler: the detector rescinded
+// a death verdict — the site is partitioned-but-beaconing, not crashed.
+// Clear the engine's dead mark (so queries attached from now on include
+// the slot) and fan the rescind out to every live query's coordinator.
+func (c *Coord) OnSiteAlive(site int, out dist.Outbox) {
+	if site < 0 || site >= c.eng.k {
+		return
+	}
+	c.eng.dead[site] = false
+	for _, q := range c.eng.snapshot() {
+		if q.detached {
+			continue
+		}
+		if h, ok := q.coord.(dist.CoordRecoverHandler); ok {
+			q.coordOut.reset(out)
+			h.OnSiteAlive(site, &q.coordOut)
 		}
 	}
 }

@@ -104,6 +104,17 @@ type BlockSite struct {
 	// decides whether a snapshot's uncollected ci/fi are still owed).
 	repliesSent int64
 
+	// sentCi/sentFi are lifetime totals of the content of every state reply
+	// this site has sent (the A and B fields). A standby coordinator
+	// restored from a snapshot compares them against its own per-slot fold
+	// totals in the KindCoordTakeover handshake: the difference is exactly
+	// the reply content the dead coordinator folded after the snapshot (or
+	// that the network dropped outright), and folding it re-bases the
+	// standby's f(n_j) without double counting. coordEpoch is the
+	// coordinator incarnation this site last shook hands with.
+	sentCi, sentFi int64
+	coordEpoch     int64
+
 	// Takeover state (see OnTakeover): while the KindTakeover announce is
 	// in flight, the snapshot-era uncollected count and net change sit in
 	// heldCi/heldFi so post-takeover updates never mix with state whose
@@ -182,6 +193,8 @@ func (s *BlockSite) OnMessage(m dist.Msg, out dist.Outbox) {
 		}
 		out.Send(dist.Msg{Kind: dist.KindStateReply, Site: s.id, A: s.ci, B: s.fi})
 		s.repliesSent++
+		s.sentCi += s.ci
+		s.sentFi += s.fi
 		s.ci = 0
 		// fi is zeroed here, not on KindNewBlock: the reported value is
 		// what the coordinator folds into f(n_j), and any update arriving
@@ -201,6 +214,7 @@ func (s *BlockSite) OnMessage(m dist.Msg, out dist.Outbox) {
 		// estimator state instead, healing whatever reports the outage
 		// swallowed. A site that did miss a boundary falls through to the
 		// normal adoption below, recording the authoritative sequence.
+		resync := false
 		if m.Item&1 == 1 {
 			if int64(m.Item>>1) == s.seenBlocks {
 				if s.innerRejoin != nil {
@@ -209,6 +223,7 @@ func (s *BlockSite) OnMessage(m dist.Msg, out dist.Outbox) {
 				return
 			}
 			s.seenBlocks = int64(m.Item >> 1)
+			resync = true
 		} else {
 			s.seenBlocks++
 		}
@@ -229,6 +244,8 @@ func (s *BlockSite) OnMessage(m dist.Msg, out dist.Outbox) {
 			} else {
 				out.Send(dist.Msg{Kind: dist.KindStateReply, Site: s.id, A: s.ci, B: s.fi})
 				s.repliesSent++
+				s.sentCi += s.ci
+				s.sentFi += s.fi
 			}
 			s.ci = 0
 			s.fi = 0
@@ -236,16 +253,32 @@ func (s *BlockSite) OnMessage(m dist.Msg, out dist.Outbox) {
 		s.r = m.A
 		s.batch = ceilPow2Half(s.r)
 		s.inner.Reset(s.r, out)
+		// Adopting a missed boundary from a resync copy leaves the
+		// coordinator's in-block mirror for this slot stale: the
+		// coordinator cleared everyone's estimate at the boundary, then
+		// overwrote this slot with drift reports measured against the
+		// pre-boundary base (the content just surrendered above). On a
+		// genuine broadcast both sides reset together, so this arm is
+		// faulty-runtime-only; re-sending the absolute (freshly reset)
+		// estimator state re-aligns the mirror without waiting for the
+		// next threshold crossing or boundary.
+		if resync && s.innerRejoin != nil {
+			s.innerRejoin.OnRejoin(out)
+		}
 	case dist.KindTakeover:
 		// The coordinator's acknowledgement of our OnTakeover announce: A is
 		// how many state replies from this slot the coordinator has counted.
 		// If that exceeds the snapshot's watermark, a reply our predecessor
 		// sent *after* the snapshot was delivered — the held ci/fi were
-		// already folded into f(n_j), so merging them would double-count.
-		// Otherwise they are still owed and rejoin the live counters. (A
-		// pre-crash reply dropped by the network makes A lag the watermark;
-		// merging is then still correct — held state is owed either way, and
-		// the dropped reply's content is not in it.)
+		// already folded into f(n_j), so merging them would double-count; we
+		// then also adopt the coordinator's books for the slot (Item/A/B are
+		// its lifetime fold totals and reply count) so our cumulative
+		// counters include the predecessor's post-snapshot reply and a later
+		// coordinator takeover cannot mistake it for unfolded content.
+		// Otherwise the held state is still owed and rejoins the live
+		// counters. (A pre-crash reply dropped by the network makes A lag
+		// the watermark; merging is then still correct — held state is owed
+		// either way, and the dropped reply's content is not in it.)
 		if !s.takingOver {
 			return
 		}
@@ -253,6 +286,10 @@ func (s *BlockSite) OnMessage(m dist.Msg, out dist.Outbox) {
 		if m.A <= s.snapReplies {
 			s.ci += s.heldCi
 			s.fi += s.heldFi
+		} else {
+			s.repliesSent = m.A
+			s.sentCi = int64(m.Item)
+			s.sentFi = m.B
 		}
 		s.heldCi, s.heldFi = 0, 0
 		s.ci += s.defCi
@@ -262,11 +299,29 @@ func (s *BlockSite) OnMessage(m dist.Msg, out dist.Outbox) {
 			s.deferReply = false
 			out.Send(dist.Msg{Kind: dist.KindStateReply, Site: s.id, A: s.ci, B: s.fi})
 			s.repliesSent++
+			s.sentCi += s.ci
+			s.sentFi += s.fi
 			s.ci = 0
 			s.fi = 0
 		} else if s.ci >= s.batch {
 			out.Send(dist.Msg{Kind: dist.KindCountReport, Site: s.id, A: s.ci})
 			s.ci = 0
+		}
+	case dist.KindCoordTakeover:
+		// A standby coordinator announced itself: Item is its snapshot hash,
+		// A the new coordinator epoch, B its reply-count watermark for this
+		// slot. Record the epoch and acknowledge with our lifetime reply
+		// books (count, Σ reported counts, Σ reported net change); the
+		// standby folds whatever its snapshot never saw and then runs the
+		// rejoin resync for this slot. If our own takeover announce was in
+		// flight it died with the old coordinator — re-announce it (a
+		// duplicate ack is ignored; the first one clears takingOver).
+		s.coordEpoch = m.A
+		out.Send(dist.Msg{Kind: dist.KindCoordTakeover, Site: s.id,
+			Item: uint64(s.sentCi), A: s.repliesSent, B: s.sentFi})
+		if s.takingOver {
+			out.Send(dist.Msg{Kind: dist.KindTakeover, Site: s.id,
+				Item: s.snapHash, A: s.snapReplies})
 		}
 	}
 }
@@ -328,6 +383,18 @@ type BlockCoord struct {
 	replySeq []int64
 	deadSite []bool
 
+	// foldedCi/foldedFi are per-slot lifetime totals of the state-reply
+	// content folded through any path — the coordinator half of the
+	// KindCoordTakeover handshake. A standby restored from a snapshot
+	// compares a site's acknowledged lifetime totals against these: the
+	// difference is reply content its snapshot never saw (folded by the
+	// dead incarnation, or dropped by the network outright) and is folded
+	// exactly once. snapHash is the integrity hash of the blob this
+	// coordinator was restored from, presented in the announce.
+	foldedCi []int64
+	foldedFi []int64
+	snapHash uint64
+
 	// Diagnostics for experiments and tests.
 	blocks     int64   // completed blocks
 	blockStart []int64 // f(n_j) at each completed boundary (incl. initial 0)
@@ -338,7 +405,8 @@ type BlockCoord struct {
 func NewBlockCoord(k int, inner InBlockCoord) *BlockCoord {
 	c := &BlockCoord{k: k, inner: inner, tj: ceilPow2Half(0) * int64(k),
 		replied: make([]bool, k), replySeq: make([]int64, k),
-		deadSite: make([]bool, k)}
+		deadSite: make([]bool, k),
+		foldedCi: make([]int64, k), foldedFi: make([]int64, k)}
 	c.blockStart = append(c.blockStart, 0)
 	inner.Reset(0)
 	return c
@@ -372,6 +440,8 @@ func (c *BlockCoord) OnMessage(m dist.Msg, out dist.Outbox) {
 		}
 	case dist.KindStateReply:
 		c.replySeq[m.Site]++
+		c.foldedCi[m.Site] += m.A
+		c.foldedFi[m.Site] += m.B
 		if !c.collecting {
 			// A straggler from a collection that already closed (possible
 			// only on faulty runtimes: a rejoin re-request raced a delayed
@@ -398,19 +468,48 @@ func (c *BlockCoord) OnMessage(m dist.Msg, out dist.Outbox) {
 		}
 	case dist.KindTakeover:
 		// A replacement announced itself for a slot. Acknowledge with our
-		// reply count for the slot (the site-side merge decision; see
-		// BlockSite), clear the dead mark, and run the rejoin resync so the
-		// replacement learns the authoritative block identity and any open
-		// collection re-requests its state. Per-link FIFO plus the
-		// runtime's incarnation gating guarantee this acknowledgement is
-		// the first message the replacement receives.
+		// books for the slot — reply count in A (the site-side merge
+		// decision; see BlockSite) plus the lifetime fold totals in Item/B
+		// (adopted by the replacement when the merge is declined, so its
+		// cumulative counters stay aligned with ours) — clear the dead mark,
+		// and run the rejoin resync so the replacement learns the
+		// authoritative block identity and any open collection re-requests
+		// its state. Per-link FIFO plus the runtime's incarnation gating
+		// guarantee this acknowledgement is the first message the
+		// replacement receives.
 		site := int(m.Site)
 		if site < 0 || site >= c.k {
 			return
 		}
 		c.deadSite[site] = false
 		out.SendTo(site, dist.Msg{Kind: dist.KindTakeover, Site: dist.CoordID,
-			Item: m.Item, A: c.replySeq[site]})
+			Item: uint64(c.foldedCi[site]), A: c.replySeq[site], B: c.foldedFi[site]})
+		c.OnSiteRejoin(site, out)
+	case dist.KindCoordTakeover:
+		// A site acknowledged our standby announce with its lifetime reply
+		// books: Item = Σ reported counts, A = replies sent, B = Σ reported
+		// net change. When the site has sent at least as many replies as our
+		// snapshot folded, the cumulative difference is exactly the content
+		// the dead incarnation folded after the snapshot (or that the
+		// network dropped before it) — fold it once, as a straggler fold.
+		// When the site's books lag ours, it is a replacement restored from
+		// an old snapshot whose already-folded content we must not unfold:
+		// adopt its baseline and move on. Either way, finish with the rejoin
+		// resync so the site learns the authoritative block identity and an
+		// open collection re-requests the state still owed to it.
+		site := int(m.Site)
+		if site < 0 || site >= c.k {
+			return
+		}
+		if m.A >= c.replySeq[site] {
+			if d := int64(m.Item) - c.foldedCi[site]; d > 0 {
+				c.that += d
+			}
+			c.fnj += m.B - c.foldedFi[site]
+			c.replySeq[site] = m.A
+		}
+		c.foldedCi[site] = int64(m.Item)
+		c.foldedFi[site] = m.B
 		c.OnSiteRejoin(site, out)
 	default:
 		c.inner.OnMessage(m)
@@ -439,8 +538,24 @@ func (c *BlockCoord) OnSiteDead(site int, out dist.Outbox) {
 }
 
 // SiteDead reports whether the coordinator currently considers site's slot
-// dead (declared by OnSiteDead, cleared by a takeover announcement).
+// dead (declared by OnSiteDead, cleared by a takeover announcement or a
+// rescind).
 func (c *BlockCoord) SiteDead(site int) bool { return c.deadSite[site] }
+
+// OnSiteAlive implements dist.CoordRecoverHandler: the detector rescinded
+// a death verdict — the site was partitioned, not crashed, and is still
+// beaconing. Stop excusing it from collections and run the rejoin resync
+// so it learns the authoritative block identity; the collection it was
+// excused from (if still open) stays excused, and whatever state it holds
+// surrenders as a late reply when the next broadcast reaches it, so
+// nothing is double-requested and nothing falls out of the estimate.
+func (c *BlockCoord) OnSiteAlive(site int, out dist.Outbox) {
+	if site < 0 || site >= c.k || !c.deadSite[site] {
+		return
+	}
+	c.deadSite[site] = false
+	c.OnSiteRejoin(site, out)
+}
 
 // OnSiteTakeover implements dist.CoordTakeoverHandler: the runtime spliced a
 // replacement into site's slot. Only the dead mark is cleared here — all
@@ -470,6 +585,28 @@ func (c *BlockCoord) OnSiteRejoin(site int, out dist.Outbox) {
 	if c.collecting && !c.replied[site] {
 		out.SendTo(site, dist.Msg{Kind: dist.KindStateRequest, Site: dist.CoordID})
 	}
+}
+
+// SetSnapshotHash implements SnapshotHashSetter: RestoreCoord stores the
+// blob's integrity hash here so OnCoordTakeover can present it.
+func (c *BlockCoord) SetSnapshotHash(h uint64) { c.snapHash = h }
+
+// OnCoordTakeover implements dist.CoordTakeover: announce this standby
+// coordinator to one site. Item carries the snapshot hash, A the new
+// coordinator epoch, B our reply-count watermark for the slot. The site
+// records the epoch and acknowledges with its lifetime reply books (see the
+// KindCoordTakeover cases in both OnMessage methods); everything the
+// snapshot missed — folds by the dead incarnation, block boundaries it
+// closed, an open collection's outstanding requests — heals through that
+// acknowledgement's fold and the rejoin resync it triggers. The runtime
+// calls this once per site: AsyncSim for all k at the splice, the TCP
+// standby as each site re-dials.
+func (c *BlockCoord) OnCoordTakeover(site int, epoch int64, out dist.Outbox) {
+	if site < 0 || site >= c.k {
+		return
+	}
+	out.SendTo(site, dist.Msg{Kind: dist.KindCoordTakeover, Site: dist.CoordID,
+		Item: c.snapHash, A: epoch, B: c.replySeq[site]})
 }
 
 // finishBlock closes block j: f(n_j+1) is now known exactly, a new exponent

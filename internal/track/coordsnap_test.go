@@ -1,0 +1,180 @@
+package track_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/freq"
+	"repro/internal/stream"
+	"repro/internal/track"
+)
+
+// The coordinator snapshot contract's property, mirroring the site-side one
+// in snapshot_test.go: restoring a coordinator blob into a freshly
+// constructed coordinator and silently swapping it in mid-run is
+// unobservable — transcripts, per-step estimates, and Stats of the suffix
+// are byte-identical to never having swapped. Pinned for every tracker
+// family, on the synchronous runtime and on AsyncSim under fault models.
+
+// coordSnapRuntime is what the round-trip driver needs from either runtime.
+type coordSnapRuntime interface {
+	Step(u stream.Update)
+	Estimate() int64
+	Stats() dist.Stats
+	ReplaceCoord(algo dist.CoordAlgo)
+}
+
+// driveCoordSnap runs ups through a fresh tracker, optionally snapshotting
+// the coordinator at index cut, restoring the blob into a freshly built
+// coordinator, and splicing that in before continuing. cut < 0 is the
+// reference run.
+func driveCoordSnap(t *testing.T, build func() (dist.CoordAlgo, []dist.SiteAlgo),
+	model *dist.NetModel, ups []stream.Update, cut int) snapRun {
+	t.Helper()
+	coord, sites := build()
+	var rt coordSnapRuntime
+	var rec *func(dist.TranscriptEntry)
+	var flush func()
+	if model == nil {
+		sim := dist.NewSim(coord, sites)
+		rec = &sim.Recorder
+		flush = func() {}
+		rt = sim
+	} else {
+		sim := dist.NewAsyncSim(coord, sites, *model, 7)
+		rec = &sim.Recorder
+		flush = sim.Flush
+		rt = sim
+	}
+	var out snapRun
+	*rec = func(e dist.TranscriptEntry) { out.transcript = append(out.transcript, e) }
+	for i, u := range ups {
+		if i == cut {
+			snap, err := track.SnapshotCoord(coord)
+			if err != nil {
+				t.Fatalf("snapshot at %d: %v", cut, err)
+			}
+			fresh, _ := build()
+			if err := track.RestoreCoord(fresh, snap); err != nil {
+				t.Fatalf("restore at %d: %v", cut, err)
+			}
+			rt.ReplaceCoord(fresh)
+		}
+		rt.Step(u)
+		out.ests = append(out.ests, rt.Estimate())
+	}
+	flush()
+	out.stats = rt.Stats()
+	return out
+}
+
+func TestCoordSnapshotRoundTripByteIdentical(t *testing.T) {
+	const k, n = 4, 24_000
+	builders := map[string]func() (dist.CoordAlgo, []dist.SiteAlgo){
+		"det":  func() (dist.CoordAlgo, []dist.SiteAlgo) { return track.NewDeterministic(k, 0.1) },
+		"rand": func() (dist.CoordAlgo, []dist.SiteAlgo) { return track.NewRandomized(k, 0.1, 9) },
+		"freq": func() (dist.CoordAlgo, []dist.SiteAlgo) {
+			tr, sites := freq.New(k, 0.1, freq.ExactMapper{})
+			return tr, sites
+		},
+		"threshold": func() (dist.CoordAlgo, []dist.SiteAlgo) {
+			m, sites := track.NewThresholdMonitor(k, 0.3, 2_000)
+			return m, sites
+		},
+	}
+	models := map[string]*dist.NetModel{
+		"sim":     nil,
+		"zero":    {},
+		"latency": {Latency: 5, Jitter: 3},
+		"faulty":  {Latency: 3, Jitter: 5, Reorder: 4, Drop: 0.1, Retrans: 2},
+	}
+	ups := stream.Collect(stream.NewAssign(
+		stream.NewItemGen(n, 512, 1.2, 0.2, 8), stream.NewSkewed(k, 1.3, 5)))
+	cuts := []int{n / 3, n / 2, 3 * n / 4}
+	for bname, build := range builders {
+		for mname, model := range models {
+			want := driveCoordSnap(t, build, model, ups, -1)
+			for _, cut := range cuts {
+				got := driveCoordSnap(t, build, model, ups, cut)
+				if got.stats != want.stats {
+					t.Fatalf("%s/%s cut=%d: stats %+v, want %+v",
+						bname, mname, cut, got.stats, want.stats)
+				}
+				if !reflect.DeepEqual(got.ests, want.ests) {
+					t.Fatalf("%s/%s cut=%d: per-step estimates diverge", bname, mname, cut)
+				}
+				if !reflect.DeepEqual(got.transcript, want.transcript) {
+					t.Fatalf("%s/%s cut=%d: transcripts diverge (%d vs %d entries)",
+						bname, mname, cut, len(got.transcript), len(want.transcript))
+				}
+			}
+		}
+	}
+}
+
+// TestCoordSnapshotIntegrity pins the coordinator blob's self-verification:
+// bit flips and truncation are caught, a coordinator blob restored into the
+// wrong shape — a site, a different family, a different k — is rejected.
+func TestCoordSnapshotIntegrity(t *testing.T) {
+	const k = 3
+	coord, sites := track.NewDeterministic(k, 0.1)
+	sim := dist.NewSim(coord, sites)
+	st := stream.NewAssign(stream.RandomWalk(5_000, 3), stream.NewRoundRobin(k))
+	for {
+		u, ok := st.Next()
+		if !ok {
+			break
+		}
+		sim.Step(u)
+	}
+	snap, err := track.SnapshotCoord(coord)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if track.SnapshotHash(snap) == 0 {
+		t.Fatalf("snapshot hash is zero")
+	}
+
+	fresh, _ := track.NewDeterministic(k, 0.1)
+	if err := track.RestoreCoord(fresh, snap); err != nil {
+		t.Fatalf("clean restore failed: %v", err)
+	}
+
+	flipped := append([]byte(nil), snap...)
+	flipped[len(flipped)/2] ^= 0x40
+	fresh, _ = track.NewDeterministic(k, 0.1)
+	if err := track.RestoreCoord(fresh, flipped); err == nil {
+		t.Fatalf("bit flip went undetected")
+	}
+
+	fresh, _ = track.NewDeterministic(k, 0.1)
+	if err := track.RestoreCoord(fresh, snap[:len(snap)-3]); err == nil {
+		t.Fatalf("truncation went undetected")
+	}
+
+	// Coordinator blob into a site slot: the layer tags differ.
+	_, freshSites := track.NewDeterministic(k, 0.1)
+	if err := track.RestoreSite(freshSites[1], snap); err == nil {
+		t.Fatalf("coordinator blob restored into a site")
+	}
+	// Site blob into a coordinator slot.
+	siteSnap, err := track.SnapshotSite(sites[1])
+	if err != nil {
+		t.Fatalf("site snapshot: %v", err)
+	}
+	fresh, _ = track.NewDeterministic(k, 0.1)
+	if err := track.RestoreCoord(fresh, siteSnap); err == nil {
+		t.Fatalf("site blob restored into a coordinator")
+	}
+	// Wrong family.
+	wrongT, _ := freq.New(k, 0.1, freq.ExactMapper{})
+	if err := track.RestoreCoord(wrongT, snap); err == nil {
+		t.Fatalf("deterministic blob restored into a frequency coordinator")
+	}
+	// Wrong k.
+	fresh, _ = track.NewDeterministic(k+1, 0.1)
+	if err := track.RestoreCoord(fresh, snap); err == nil {
+		t.Fatalf("k=%d blob restored into k=%d coordinator", k, k+1)
+	}
+}

@@ -27,11 +27,17 @@ var snapMagic = [4]byte{'V', 'S', 'N', '1'}
 // This block is the registry: layers in other packages take their tag from
 // here so no two layers collide.
 const (
-	snapTagBlock byte = 'B' // BlockSite spine
-	snapTagDet   byte = 'd' // deterministic in-block estimator
-	snapTagRand  byte = 'r' // randomized in-block estimator
-	SnapTagFreq  byte = 'F' // frequency in-block estimator (internal/freq)
-	SnapTagQuery byte = 'Q' // multi-query site (internal/query)
+	snapTagBlock      byte = 'B' // BlockSite spine
+	snapTagDet        byte = 'd' // deterministic in-block estimator
+	snapTagRand       byte = 'r' // randomized in-block estimator
+	SnapTagFreq       byte = 'F' // frequency in-block estimator (internal/freq)
+	SnapTagQuery      byte = 'Q' // multi-query site (internal/query)
+	snapTagBlockCoord byte = 'C' // BlockCoord spine
+	snapTagDetCoord   byte = 'D' // deterministic in-block coordinator
+	snapTagRandCoord  byte = 'R' // randomized in-block coordinator
+	snapTagThreshold  byte = 'T' // threshold monitor wrapper
+	SnapTagFreqCoord  byte = 'G' // frequency in-block coordinator (internal/freq)
+	SnapTagQueryCoord byte = 'M' // multi-query coordinator (internal/query)
 )
 
 // SiteSnapshotter is implemented by site algorithms that support the
@@ -52,9 +58,22 @@ type InBlockSnapshotter interface {
 	RestoreSnapshot(r *SnapReader)
 }
 
+// CoordSnapshotter is the coordinator-side snapshot contract, the mirror of
+// SiteSnapshotter for crash-fault coordinator replacement: a standby
+// restored from the blob is indistinguishable from the original, so
+// restore-then-drive stays byte-identical to never having failed over. The
+// layer tags differ from the site ones, so a site blob restored into a
+// coordinator (or vice versa) is rejected, not misread.
+type CoordSnapshotter interface {
+	AppendSnapshot(b []byte) ([]byte, error)
+	RestoreSnapshot(r *SnapReader) error
+}
+
 // SnapshotHashSetter receives the integrity hash of the blob an algorithm
 // was restored from, so a replacement site can present it in its
-// KindTakeover announcement. RestoreSite calls it when implemented.
+// KindTakeover announcement (and a standby coordinator in its
+// KindCoordTakeover announcements). RestoreSite and RestoreCoord call it
+// when implemented.
 type SnapshotHashSetter interface {
 	SetSnapshotHash(h uint64)
 }
@@ -110,6 +129,28 @@ func RestoreSite(algo any, snap []byte) error {
 		hs.SetSnapshotHash(sum)
 	}
 	return nil
+}
+
+// SnapshotCoord serializes a coordinator algorithm's complete state into
+// one self-verifying blob, in the same wire format as SnapshotSite (magic,
+// varint payload, trailing FNV-1a hash). It errors when the algorithm does
+// not support the coordinator snapshot contract.
+func SnapshotCoord(algo any) ([]byte, error) {
+	if _, ok := algo.(CoordSnapshotter); !ok {
+		return nil, fmt.Errorf("track: coordinator %T does not support snapshots", algo)
+	}
+	return SnapshotSite(algo)
+}
+
+// RestoreCoord overwrites a freshly constructed coordinator algorithm's
+// state from a SnapshotCoord blob, verifying the magic and the integrity
+// hash, and hands the hash to the algorithm when it implements
+// SnapshotHashSetter (the standby presents it in KindCoordTakeover).
+func RestoreCoord(algo any, snap []byte) error {
+	if _, ok := algo.(CoordSnapshotter); !ok {
+		return fmt.Errorf("track: coordinator %T does not support snapshots", algo)
+	}
+	return RestoreSite(algo, snap)
 }
 
 // SnapshotHash returns the integrity hash of a SnapshotSite blob (the
@@ -229,6 +270,9 @@ func (s *BlockSite) AppendSnapshot(b []byte) ([]byte, error) {
 	b = AppendSnapInt(b, s.fi)
 	b = AppendSnapInt(b, s.seenBlocks)
 	b = AppendSnapInt(b, s.repliesSent)
+	b = AppendSnapInt(b, s.sentCi)
+	b = AppendSnapInt(b, s.sentFi)
+	b = AppendSnapInt(b, s.coordEpoch)
 	return in.AppendSnapshot(b), nil
 }
 
@@ -245,6 +289,9 @@ func (s *BlockSite) RestoreSnapshot(r *SnapReader) error {
 	s.fi = r.Int()
 	s.seenBlocks = r.Int()
 	s.repliesSent = r.Int()
+	s.sentCi = r.Int()
+	s.sentFi = r.Int()
+	s.coordEpoch = r.Int()
 	in.RestoreSnapshot(r)
 	return r.Err()
 }
@@ -292,4 +339,176 @@ func (s *randSite) RestoreSnapshot(r *SnapReader) {
 		st[i] = r.Uint()
 	}
 	s.src.SetState(st)
+}
+
+// AppendSnapshot implements CoordSnapshotter on the partition layer: the
+// full spine — block identity, open-collection bookkeeping, the per-slot
+// reply watermarks and fold totals, and the boundary diagnostics — followed
+// by the in-block coordinator's state. An open collection survives the
+// snapshot: the standby re-requests the replies still owed to it through
+// OnSiteRejoin when the takeover handshake runs.
+func (c *BlockCoord) AppendSnapshot(b []byte) ([]byte, error) {
+	in, ok := c.inner.(InBlockSnapshotter)
+	if !ok {
+		return nil, fmt.Errorf("track: in-block coordinator %T does not support snapshots", c.inner)
+	}
+	b = append(b, snapTagBlockCoord)
+	b = AppendSnapUint(b, uint64(c.k))
+	b = AppendSnapInt(b, c.r)
+	b = AppendSnapInt(b, c.fnj)
+	b = AppendSnapInt(b, c.tj)
+	b = AppendSnapInt(b, c.that)
+	var collecting uint64
+	if c.collecting {
+		collecting = 1
+	}
+	b = AppendSnapUint(b, collecting)
+	b = AppendSnapInt(b, int64(c.replies))
+	b = AppendSnapInt(b, c.fDelta)
+	for i := 0; i < c.k; i++ {
+		var replied, dead uint64
+		if c.replied[i] {
+			replied = 1
+		}
+		if c.deadSite[i] {
+			dead = 1
+		}
+		b = AppendSnapUint(b, replied)
+		b = AppendSnapUint(b, dead)
+		b = AppendSnapInt(b, c.replySeq[i])
+		b = AppendSnapInt(b, c.foldedCi[i])
+		b = AppendSnapInt(b, c.foldedFi[i])
+	}
+	b = AppendSnapInt(b, c.blocks)
+	b = AppendSnapUint(b, uint64(len(c.blockStart)))
+	for _, v := range c.blockStart {
+		b = AppendSnapInt(b, v)
+	}
+	b = AppendSnapUint(b, uint64(len(c.rHistory)))
+	for _, v := range c.rHistory {
+		b = AppendSnapInt(b, v)
+	}
+	return in.AppendSnapshot(b), nil
+}
+
+// RestoreSnapshot implements CoordSnapshotter.
+func (c *BlockCoord) RestoreSnapshot(r *SnapReader) error {
+	in, ok := c.inner.(InBlockSnapshotter)
+	if !ok {
+		return fmt.Errorf("track: in-block coordinator %T does not support snapshots", c.inner)
+	}
+	r.Tag(snapTagBlockCoord)
+	if k := r.Uint(); r.Err() == nil && k != uint64(c.k) {
+		return fmt.Errorf("track: coordinator snapshot is for k=%d, restoring into k=%d", k, c.k)
+	}
+	c.r = r.Int()
+	c.fnj = r.Int()
+	c.tj = r.Int()
+	c.that = r.Int()
+	c.collecting = r.Uint() == 1
+	c.replies = int(r.Int())
+	c.fDelta = r.Int()
+	for i := 0; i < c.k; i++ {
+		c.replied[i] = r.Uint() == 1
+		c.deadSite[i] = r.Uint() == 1
+		c.replySeq[i] = r.Int()
+		c.foldedCi[i] = r.Int()
+		c.foldedFi[i] = r.Int()
+	}
+	c.blocks = r.Int()
+	c.blockStart = c.blockStart[:0]
+	for n := r.Uint(); n > 0 && r.Err() == nil; n-- {
+		c.blockStart = append(c.blockStart, r.Int())
+	}
+	c.rHistory = c.rHistory[:0]
+	for n := r.Uint(); n > 0 && r.Err() == nil; n-- {
+		c.rHistory = append(c.rHistory, r.Int())
+	}
+	in.RestoreSnapshot(r)
+	return r.Err()
+}
+
+// AppendSnapshot implements InBlockSnapshotter for the deterministic
+// coordinator.
+func (c *detCoord) AppendSnapshot(b []byte) []byte {
+	b = append(b, snapTagDetCoord)
+	b = AppendSnapUint(b, uint64(len(c.dhat)))
+	for _, v := range c.dhat {
+		b = AppendSnapInt(b, v)
+	}
+	return AppendSnapInt(b, c.sum)
+}
+
+// RestoreSnapshot implements InBlockSnapshotter.
+func (c *detCoord) RestoreSnapshot(r *SnapReader) {
+	r.Tag(snapTagDetCoord)
+	if n := r.Uint(); r.Err() == nil && n != uint64(len(c.dhat)) {
+		r.fail("detCoord site count")
+		return
+	}
+	for i := range c.dhat {
+		c.dhat[i] = r.Int()
+	}
+	c.sum = r.Int()
+}
+
+// AppendSnapshot implements InBlockSnapshotter for the randomized
+// coordinator.
+func (c *randCoord) AppendSnapshot(b []byte) []byte {
+	b = append(b, snapTagRandCoord)
+	b = AppendSnapFloat(b, c.p)
+	b = AppendSnapUint(b, uint64(len(c.dplus)))
+	for _, v := range c.dplus {
+		b = AppendSnapFloat(b, v)
+	}
+	for _, v := range c.dmin {
+		b = AppendSnapFloat(b, v)
+	}
+	return AppendSnapFloat(b, c.sum)
+}
+
+// RestoreSnapshot implements InBlockSnapshotter.
+func (c *randCoord) RestoreSnapshot(r *SnapReader) {
+	r.Tag(snapTagRandCoord)
+	c.p = r.Float()
+	if n := r.Uint(); r.Err() == nil && n != uint64(len(c.dplus)) {
+		r.fail("randCoord site count")
+		return
+	}
+	for i := range c.dplus {
+		c.dplus[i] = r.Float()
+	}
+	for i := range c.dmin {
+		c.dmin[i] = r.Float()
+	}
+	c.sum = r.Float()
+}
+
+// AppendSnapshot implements CoordSnapshotter for the threshold monitor: the
+// τ comparison itself is construction-constant, so the monitor contributes
+// only its layer tag and delegates to the tracker it wraps.
+func (m *ThresholdMonitor) AppendSnapshot(b []byte) ([]byte, error) {
+	cs, ok := m.coord.(CoordSnapshotter)
+	if !ok {
+		return nil, fmt.Errorf("track: wrapped coordinator %T does not support snapshots", m.coord)
+	}
+	b = append(b, snapTagThreshold)
+	return cs.AppendSnapshot(b)
+}
+
+// RestoreSnapshot implements CoordSnapshotter.
+func (m *ThresholdMonitor) RestoreSnapshot(r *SnapReader) error {
+	cs, ok := m.coord.(CoordSnapshotter)
+	if !ok {
+		return fmt.Errorf("track: wrapped coordinator %T does not support snapshots", m.coord)
+	}
+	r.Tag(snapTagThreshold)
+	return cs.RestoreSnapshot(r)
+}
+
+// SetSnapshotHash implements SnapshotHashSetter by delegation.
+func (m *ThresholdMonitor) SetSnapshotHash(h uint64) {
+	if hs, ok := m.coord.(SnapshotHashSetter); ok {
+		hs.SetSnapshotHash(h)
+	}
 }

@@ -89,10 +89,28 @@ func (m *ThresholdMonitor) OnSiteDead(site int, out dist.Outbox) {
 	}
 }
 
+// OnSiteAlive implements dist.CoordRecoverHandler by delegation, so a
+// monitor behind failure detection un-excuses a falsely-suspected slot
+// exactly as the tracker it wraps does.
+func (m *ThresholdMonitor) OnSiteAlive(site int, out dist.Outbox) {
+	if h, ok := m.coord.(dist.CoordRecoverHandler); ok {
+		h.OnSiteAlive(site, out)
+	}
+}
+
 // OnSiteTakeover implements dist.CoordTakeoverHandler by delegation.
 func (m *ThresholdMonitor) OnSiteTakeover(site int, out dist.Outbox) {
 	if h, ok := m.coord.(dist.CoordTakeoverHandler); ok {
 		h.OnSiteTakeover(site, out)
+	}
+}
+
+// OnCoordTakeover implements dist.CoordTakeover by delegation, so a monitor
+// restored from a snapshot announces the standby handshake exactly as the
+// tracker it wraps does.
+func (m *ThresholdMonitor) OnCoordTakeover(site int, epoch int64, out dist.Outbox) {
+	if t, ok := m.coord.(dist.CoordTakeover); ok {
+		t.OnCoordTakeover(site, epoch, out)
 	}
 }
 
