@@ -1,0 +1,101 @@
+// Command varlint is the repository's invariant linter: four stdlib-only
+// static-analysis passes (kind-switch exhaustiveness, zero-alloc hot
+// paths, determinism, snapshot field coverage) plus a compiler-backed
+// escape budget. See internal/lint and DESIGN.md "Static analysis &
+// invariant linting".
+//
+// Usage:
+//
+//	varlint [packages]                  run the four passes (default ./...)
+//	varlint -escape [-update-budget]    diff hot-path heap escapes against
+//	                                    lint_escape_budget.txt
+//
+// Exit status 1 on any unannotated finding or budget growth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	escape := flag.Bool("escape", false, "diff hot-path heap escapes against the committed budget")
+	budget := flag.String("budget", "lint_escape_budget.txt", "escape budget file (relative to the module root)")
+	update := flag.Bool("update-budget", false, "with -escape: rewrite the budget file from the current escapes")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *escape {
+		os.Exit(runEscape(loader, pkgs, *budget, *update))
+	}
+
+	cfg := lint.DefaultConfig()
+	findings := lint.Run(pkgs, cfg)
+	for _, p := range pkgs {
+		findings = append(findings, p.Bad...)
+	}
+	lint.Sort(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "varlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func runEscape(loader *lint.Loader, pkgs []*lint.Package, budgetPath string, update bool) int {
+	if !filepath.IsAbs(budgetPath) {
+		budgetPath = filepath.Join(loader.ModRoot(), budgetPath)
+	}
+	sites, err := lint.CollectEscapes(loader, pkgs)
+	if err != nil {
+		fatal(err)
+	}
+	if update {
+		if err := lint.WriteBudget(budgetPath, sites); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("varlint: wrote %d escape site(s) to %s\n", len(sites), budgetPath)
+		return 0
+	}
+	budget, err := lint.ReadBudget(budgetPath)
+	if err != nil {
+		fatal(err)
+	}
+	grown, shrunk := lint.DiffBudget(sites, budget)
+	for _, g := range grown {
+		fmt.Printf("%s: new heap escape over budget: %s\n", g.Pos, g.Entry)
+	}
+	for _, s := range shrunk {
+		fmt.Printf("varlint: budget entry no longer escapes (shrink the budget with -update-budget): %s\n", s)
+	}
+	if len(grown) > 0 {
+		fmt.Fprintf(os.Stderr, "varlint: %d escape(s) over budget; if audited and accepted, run: go run ./cmd/varlint -escape -update-budget\n", len(grown))
+		return 1
+	}
+	fmt.Printf("varlint: escape budget OK (%d budgeted site(s))\n", len(sites))
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "varlint:", err)
+	os.Exit(2)
+}

@@ -196,6 +196,9 @@ func (s *AsyncSim) processCoordTakeover(e *event) {
 	}
 }
 
+// processHeartbeat emits one beacon from a live site and schedules the next.
+//
+//varlint:zeroalloc
 func (s *AsyncSim) processHeartbeat(e *event) {
 	site := int(e.to)
 	if s.closing || s.crashed[site] {
@@ -211,6 +214,9 @@ func (s *AsyncSim) processHeartbeat(e *event) {
 	s.pushEvent(&next)
 }
 
+// processHbArrive folds one beacon arrival into the failure detector.
+//
+//varlint:zeroalloc
 func (s *AsyncSim) processHbArrive(e *event) {
 	site := int(e.to)
 	if s.crashed[site] || s.epoch[site] != e.epoch || s.down[site] ||
@@ -233,6 +239,9 @@ func (s *AsyncSim) processHbArrive(e *event) {
 	}
 }
 
+// processHbCheck runs one detector sweep over the beacon arrival times.
+//
+//varlint:zeroalloc
 func (s *AsyncSim) processHbCheck(e *event) {
 	if s.closing {
 		return

@@ -321,6 +321,11 @@ func (c *Coordinator) serve(conn net.Conn) {
 			conn.Close()
 			return
 		}
+		// Transport demux: only the transport-internal kinds are handled
+		// here — every protocol kind is the algorithm's business and is
+		// forwarded wholesale by the default clause, so new kinds need no
+		// transport change.
+		//varlint:kinds KindAttach,KindCoordTakeover,KindCountReport,KindDetach,KindDriftReport,KindFreqEnd,KindFreqReport,KindNewBlock,KindStateReply,KindStateRequest,KindTakeover,KindValueReport
 		switch m.Kind {
 		case kindHeartbeat:
 			c.mu.Lock()

@@ -79,6 +79,8 @@ type msgRing struct {
 // The grow call keeps slot above the compiler's inlining budget, so the
 // outbox Send paths open-code the common full-ring check themselves and
 // only call here on the grow edge (once per high-water mark).
+//
+//varlint:zeroalloc
 func (r *msgRing) slot() *envelope {
 	if r.n == len(r.buf) {
 		r.grow()
@@ -92,8 +94,11 @@ func (r *msgRing) slot() *envelope {
 // pop this way lets drain hand deliver a pointer into the ring instead of
 // copying the envelope out — safe because deliver finishes every read of
 // the slot before the handler (whose sends could recycle it) runs.
+//
+//varlint:zeroalloc
 func (r *msgRing) peek() *envelope { return &r.buf[r.head] }
 
+//varlint:zeroalloc
 func (r *msgRing) drop() {
 	r.head = (r.head + 1) & (len(r.buf) - 1)
 	r.n--
@@ -101,6 +106,8 @@ func (r *msgRing) drop() {
 
 // pop removes and returns the oldest envelope (peek + drop, with a copy).
 // It panics on an empty ring.
+//
+//varlint:zeroalloc
 func (r *msgRing) pop() envelope {
 	if r.n == 0 {
 		panic("dist: pop from empty msgRing")
@@ -145,6 +152,8 @@ func NewSim(coord CoordAlgo, sites []SiteAlgo) *Sim {
 
 // Step feeds one update to its assigned site and runs the network to
 // quiescence before returning.
+//
+//varlint:zeroalloc
 func (s *Sim) Step(u stream.Update) {
 	s.t = u.T
 	s.sites[u.Site].OnUpdate(u, s.siteOut[u.Site])
@@ -154,6 +163,8 @@ func (s *Sim) Step(u stream.Update) {
 // drain delivers queued messages to quiescence. The envelope is delivered
 // from its ring slot (released first, so handler sends can grow the ring
 // freely); deliver completes all reads before dispatching the handler.
+//
+//varlint:zeroalloc
 func (s *Sim) drain() {
 	for s.queue.n > 0 {
 		e := s.queue.peek()
@@ -188,6 +199,8 @@ func (s *Sim) Run(st stream.Stream) int64 {
 // The returned flag lets callers cache derived state across message-free
 // prefixes: when delivered is false, no coordinator or site OnMessage ran,
 // so Estimate() is unchanged from before the call.
+//
+//varlint:zeroalloc
 func (s *Sim) StepBatch(us []stream.Update) (consumed int, delivered bool) {
 	i := 0
 	for i < len(us) {
@@ -314,6 +327,8 @@ func (s *Sim) classify(e *envelope) {
 // slot: every read of *e happens before the handler runs (the dispatch
 // copies e.msg into the call), so sends that recycle or grow the ring
 // mid-delivery cannot corrupt the delivery.
+//
+//varlint:zeroalloc
 func (s *Sim) deliver(e *envelope) {
 	s.stats.add(&e.msg, e.to)
 	if s.classifier != nil {
@@ -341,6 +356,8 @@ type simOutbox struct {
 // once per high-water mark.
 
 // Send implements Outbox.
+//
+//varlint:zeroalloc
 func (o *simOutbox) Send(m Msg) {
 	if o.from == CoordID {
 		o.Broadcast(m)
@@ -357,6 +374,8 @@ func (o *simOutbox) Send(m Msg) {
 }
 
 // SendTo implements Outbox.
+//
+//varlint:zeroalloc
 func (o *simOutbox) SendTo(site int, m Msg) {
 	if o.from != CoordID {
 		o.Send(m)
@@ -373,6 +392,8 @@ func (o *simOutbox) SendTo(site int, m Msg) {
 }
 
 // Broadcast implements Outbox.
+//
+//varlint:zeroalloc
 func (o *simOutbox) Broadcast(m Msg) {
 	if o.from != CoordID {
 		o.Send(m)

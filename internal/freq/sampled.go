@@ -224,8 +224,11 @@ func (c *sampledCoord) Reset(r int64) {
 	clear(c.drift)
 }
 
-// OnMessage implements track.InBlockCoord.
+// OnMessage implements track.InBlockCoord: the in-block layer sees only
+// the estimator report kinds BlockCoord's default clause forwards down —
+// the partition spine and the control plane never reach it.
 func (c *sampledCoord) OnMessage(m dist.Msg) {
+	//varlint:kinds KindAttach,KindCoordTakeover,KindCountReport,KindDetach,KindNewBlock,KindStateReply,KindStateRequest,KindTakeover,KindValueReport
 	switch m.Kind {
 	case dist.KindDriftReport:
 		c.f1Sum += m.A - c.f1Dhat[m.Site]

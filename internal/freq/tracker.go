@@ -21,14 +21,14 @@ type cellState struct {
 // can estimate F1(n) mid-block) and the per-counter δ conditions for item
 // frequencies.
 type freqSite struct {
-	id     int32
-	eps    float64
-	mapper Mapper
+	id     int32   //varlint:volatile construction-time identity; the restore target is built with the same id
+	eps    float64 //varlint:volatile construction-time config; only the derived thresholds are live state
+	mapper Mapper  //varlint:volatile construction-time config; the restore target is built with the same mapper
 
 	cells map[uint64]*cellState
 	// cellBuf is the reusable CellsInto buffer; per-update cell lookups
 	// must not allocate.
-	cellBuf []uint64
+	cellBuf []uint64 //varlint:volatile reusable scratch buffer
 
 	cellThresh float64 // ε·2^r/3: per-counter flush and heavy-report threshold
 	f1Thresh   float64 // ε·2^r floored at 1: F1 drift condition (§3.3)
@@ -40,7 +40,7 @@ type freqSite struct {
 	// rather than following map iteration order. Only reporting cells are
 	// collected and sorted — the silent zero/delete sweep stays a single
 	// unordered map pass.
-	heavyKeys []uint64
+	heavyKeys []uint64 //varlint:volatile reusable scratch buffer
 }
 
 func newFreqSite(id int, eps float64, mapper Mapper) *freqSite {
@@ -200,8 +200,11 @@ func (c *freqCoord) Reset(r int64) {
 	c.f1Sum = 0
 }
 
-// OnMessage implements track.InBlockCoord.
+// OnMessage implements track.InBlockCoord: the in-block layer sees only
+// the estimator report kinds BlockCoord's default clause forwards down —
+// the partition spine and the control plane never reach it.
 func (c *freqCoord) OnMessage(m dist.Msg) {
+	//varlint:kinds KindAttach,KindCoordTakeover,KindCountReport,KindDetach,KindNewBlock,KindStateReply,KindStateRequest,KindTakeover,KindValueReport
 	switch m.Kind {
 	case dist.KindDriftReport:
 		c.f1Sum += m.A - c.f1Dhat[m.Site]

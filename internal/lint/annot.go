@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The annotation grammar. A directive is a comment line of the form
+//
+//	//varlint:<name> [args]
+//
+// and governs the syntax on the same line (trailing comment) or on the
+// line immediately below it (preceding comment) — the natural positions
+// gofmt keeps stable. The directives:
+//
+//	//varlint:zeroalloc                  enroll the function below in the
+//	                                     zeroalloc pass and the -escape
+//	                                     budget (last line of the doc
+//	                                     comment)
+//	//varlint:kinds K1,K2,...            this switch intentionally does not
+//	                                     handle the listed kinds
+//	//varlint:wallclock <reason>         audited wall-clock read
+//	//varlint:unordered <reason>         audited map-order-insensitive range
+//	//varlint:volatile <reason>          struct field legitimately absent
+//	                                     from its snapshot/restore pair
+//	//varlint:allocok <reason>           audited non-allocating construct
+//	                                     inside a zeroalloc function
+//
+// Every suppression form requires a non-empty reason (or list): a bare
+// suppression is itself a finding, so silencing the linter always leaves
+// an audit trail in the source.
+const (
+	dirPrefix = "//varlint:"
+
+	dirZeroAlloc = "zeroalloc"
+	dirKinds     = "kinds"
+	dirWallclock = "wallclock"
+	dirUnordered = "unordered"
+	dirVolatile  = "volatile"
+	dirAllocOK   = "allocok"
+)
+
+// directive is one parsed //varlint: comment.
+type directive struct {
+	name string
+	args string // raw remainder: reason text or comma list
+	pos  token.Position
+}
+
+// annots indexes every directive in one file by the source line it
+// governs: the directive's own line (for trailing comments) and the line
+// below it (for preceding comments).
+type annots struct {
+	byLine map[int][]directive
+}
+
+// parseAnnots scans a file's comments for varlint directives. Malformed
+// directives (unknown name, missing required argument) are returned as
+// findings so they cannot silently fail to suppress.
+func parseAnnots(fset *token.FileSet, f *ast.File) (*annots, []Finding) {
+	a := &annots{byLine: make(map[int][]directive)}
+	var bad []Finding
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, dirPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, dirPrefix)
+			name, args, _ := strings.Cut(rest, " ")
+			args = strings.TrimSpace(args)
+			pos := fset.Position(c.Pos())
+			d := directive{name: name, args: args, pos: pos}
+			switch name {
+			case dirZeroAlloc:
+				// No argument.
+			case dirKinds, dirWallclock, dirUnordered, dirVolatile, dirAllocOK:
+				if args == "" {
+					bad = append(bad, Finding{Pos: pos, Pass: "annotation",
+						Msg: "//varlint:" + name + " needs an argument (a kind list or an audit reason)"})
+					continue
+				}
+			default:
+				bad = append(bad, Finding{Pos: pos, Pass: "annotation",
+					Msg: "unknown varlint directive " + name})
+				continue
+			}
+			a.byLine[pos.Line] = append(a.byLine[pos.Line], d)
+		}
+	}
+	return a, bad
+}
+
+// at returns the directive of the given name governing line, if any: a
+// directive on the line itself or on the line immediately above.
+func (a *annots) at(line int, name string) (directive, bool) {
+	for _, l := range []int{line, line - 1} {
+		for _, d := range a.byLine[l] {
+			if d.name == name {
+				return d, true
+			}
+		}
+	}
+	return directive{}, false
+}
+
+// funcDoc reports whether the function declaration's doc comment carries
+// the named directive on any line.
+func funcDoc(fd *ast.FuncDecl, name string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, dirPrefix+name) {
+			return true
+		}
+	}
+	return false
+}
+
+// kindList splits a //varlint:kinds argument into constant names.
+func (d directive) kindList() []string {
+	var out []string
+	for _, s := range strings.Split(d.args, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The -escape mode: a static perf floor next to the bench gates. It asks
+// the real compiler (`go build -gcflags=-m`) for its escape-analysis
+// verdicts, keeps the heap escapes that land inside //varlint:zeroalloc
+// functions, normalizes them to line-number-free entries, and diffs the
+// set against the committed budget file (lint_escape_budget.txt). A new
+// entry — a hot-path allocation the compiler could not prove stack-safe —
+// fails the build; a disappeared entry is progress and only suggests
+// shrinking the budget.
+
+// EscapeSite is one compiler-reported heap escape inside an annotated
+// hot-path function.
+type EscapeSite struct {
+	Entry string // "pkgpath.Func: message", stable across line drift
+	Pos   string // file:line:col for human output
+}
+
+// hotFunc is a //varlint:zeroalloc function's source extent.
+type hotFunc struct {
+	pkg        string
+	name       string
+	file       string // as the compiler prints it, relative to the module root
+	start, end int    // line range, inclusive
+}
+
+// CollectEscapes loads the packages owning zeroalloc annotations, runs
+// the compiler's escape analysis over them, and returns the escape sites
+// inside annotated functions, sorted by entry then position.
+func CollectEscapes(l *Loader, pkgs []*Package) ([]EscapeSite, error) {
+	var hots []hotFunc
+	owning := make(map[string]bool)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !funcDoc(fd, dirZeroAlloc) {
+					continue
+				}
+				start := p.Fset.Position(fd.Pos())
+				end := p.Fset.Position(fd.End())
+				rel, err := filepath.Rel(l.modRoot, start.Filename)
+				if err != nil {
+					rel = start.Filename
+				}
+				hots = append(hots, hotFunc{
+					pkg:   p.Path,
+					name:  funcDisplayName(fd),
+					file:  filepath.ToSlash(rel),
+					start: start.Line,
+					end:   end.Line,
+				})
+				owning[p.Path] = true
+			}
+		}
+	}
+	if len(hots) == 0 {
+		return nil, nil
+	}
+
+	var paths []string
+	for path := range owning {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m"}, paths...)...)
+	cmd.Dir = l.modRoot
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out)
+	}
+
+	var sites []EscapeSite
+	for _, line := range strings.Split(string(out), "\n") {
+		file, lno, msg, ok := parseDiag(line)
+		if !ok {
+			continue
+		}
+		if !strings.Contains(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		for _, h := range hots {
+			if file == h.file && lno >= h.start && lno <= h.end {
+				sites = append(sites, EscapeSite{
+					Entry: h.pkg + "." + h.name + ": " + msg,
+					Pos:   line[:strings.Index(line, ": ")],
+				})
+				break
+			}
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].Entry != sites[j].Entry {
+			return sites[i].Entry < sites[j].Entry
+		}
+		return sites[i].Pos < sites[j].Pos
+	})
+	return sites, nil
+}
+
+// parseDiag splits a compiler diagnostic "file.go:line:col: message".
+func parseDiag(line string) (file string, lno int, msg string, ok bool) {
+	if strings.HasPrefix(line, "#") || !strings.Contains(line, ".go:") {
+		return "", 0, "", false
+	}
+	parts := strings.SplitN(line, ":", 4)
+	if len(parts) != 4 {
+		return "", 0, "", false
+	}
+	if !strings.HasSuffix(parts[0], ".go") {
+		return "", 0, "", false
+	}
+	if _, err := fmt.Sscanf(parts[1], "%d", &lno); err != nil {
+		return "", 0, "", false
+	}
+	return filepath.ToSlash(parts[0]), lno, strings.TrimSpace(parts[3]), true
+}
+
+// funcDisplayName renders Step, (*Sim).Step, (Sim).Step.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	star := ""
+	if se, ok := t.(*ast.StarExpr); ok {
+		star = "*"
+		t = se.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return fd.Name.Name
+	}
+	return "(" + star + id.Name + ")." + fd.Name.Name
+}
+
+// DiffBudget compares the current escape sites against the budget file's
+// entries. grown lists sites not covered by the budget (each budget entry
+// covers one site); shrunk lists budget entries no current site matches.
+func DiffBudget(sites []EscapeSite, budget []string) (grown []EscapeSite, shrunk []string) {
+	avail := make(map[string]int)
+	for _, b := range budget {
+		avail[b]++
+	}
+	for _, s := range sites {
+		if avail[s.Entry] > 0 {
+			avail[s.Entry]--
+		} else {
+			grown = append(grown, s)
+		}
+	}
+	for e, n := range avail {
+		for i := 0; i < n; i++ {
+			shrunk = append(shrunk, e)
+		}
+	}
+	sort.Strings(shrunk)
+	return grown, shrunk
+}
+
+// ReadBudget parses a budget file: one entry per line, #-comments and
+// blank lines ignored. A missing file is an empty budget.
+func ReadBudget(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, nil
+}
+
+// WriteBudget rewrites the budget file from the current escape sites.
+func WriteBudget(path string, sites []EscapeSite) error {
+	var b strings.Builder
+	b.WriteString("# varlint -escape budget: compiler-verified heap escapes inside\n")
+	b.WriteString("# //varlint:zeroalloc functions. One line per allowed escape site\n")
+	b.WriteString("# (line numbers omitted so refactors don't churn the file).\n")
+	b.WriteString("# Regenerate with: go run ./cmd/varlint -escape -update-budget\n")
+	for _, s := range sites {
+		b.WriteString(s.Entry)
+		b.WriteString("\n")
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// ModRoot exposes the loader's module root for CLI path resolution.
+func (l *Loader) ModRoot() string { return l.modRoot }

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDiffBudget(t *testing.T) {
+	sites := []EscapeSite{
+		{Entry: "p.A: x escapes to heap"},
+		{Entry: "p.A: x escapes to heap"},
+		{Entry: "p.B: y escapes to heap"},
+	}
+	budget := []string{
+		"p.A: x escapes to heap",
+		"p.C: z escapes to heap",
+	}
+	grown, shrunk := DiffBudget(sites, budget)
+	if len(grown) != 2 {
+		t.Errorf("grown = %v, want the duplicate p.A site and the p.B site", grown)
+	}
+	if len(shrunk) != 1 || shrunk[0] != "p.C: z escapes to heap" {
+		t.Errorf("shrunk = %v, want the unused p.C entry", shrunk)
+	}
+
+	grown, shrunk = DiffBudget(sites[:1], budget[:1])
+	if len(grown) != 0 || len(shrunk) != 0 {
+		t.Errorf("exact match diffed: grown=%v shrunk=%v", grown, shrunk)
+	}
+}
+
+func TestBudgetRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "budget.txt")
+	sites := []EscapeSite{
+		{Entry: "p.A: x escapes to heap"},
+		{Entry: "p.B: y escapes to heap"},
+	}
+	if err := WriteBudget(path, sites); err != nil {
+		t.Fatal(err)
+	}
+	budget, err := ReadBudget(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown, shrunk := DiffBudget(sites, budget); len(grown) != 0 || len(shrunk) != 0 {
+		t.Errorf("round trip diffed: grown=%v shrunk=%v", grown, shrunk)
+	}
+
+	missing, err := ReadBudget(filepath.Join(t.TempDir(), "nope.txt"))
+	if err != nil || missing != nil {
+		t.Errorf("missing budget = (%v, %v), want empty", missing, err)
+	}
+}
+
+// TestCollectEscapesSeeded builds a throwaway module whose one annotated
+// function forces a heap escape and checks the compiler-backed collector
+// reports it — the end-to-end seeded violation for the -escape mode.
+func TestCollectEscapesSeeded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the compiler")
+	}
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module escmod\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hot := filepath.Join(root, "hot")
+	if err := os.Mkdir(hot, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package hot
+
+type node struct {
+	v int
+}
+
+// Leak returns a pointer to a local, which must move to the heap.
+//
+//varlint:zeroalloc
+func Leak(v int) *node {
+	return &node{v: v} //varlint:allocok deliberate: seeded escape for the -escape test
+}
+`
+	if err := os.WriteFile(filepath.Join(hot, "esc.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.Load("escmod/hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, err := CollectEscapes(l, []*Package{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 1 || !strings.HasPrefix(sites[0].Entry, "escmod/hot.Leak: ") {
+		t.Fatalf("sites = %v, want exactly the seeded escmod/hot.Leak escape", sites)
+	}
+
+	// The seeded escape over an empty budget must read as growth.
+	grown, _ := DiffBudget(sites, nil)
+	if len(grown) != 1 {
+		t.Fatalf("seeded escape not flagged as over budget: %v", grown)
+	}
+}

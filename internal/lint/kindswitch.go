@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// KindSwitch checks that every switch over a protocol kind type handles
+// every exported constant of that type, or names the intentionally
+// unhandled kinds in a //varlint:kinds annotation. A default clause does
+// NOT satisfy exhaustiveness: a default that silently ignores (or
+// misroutes) an unknown kind is exactly the bug class this pass exists to
+// break — PR 7 and PR 8 each added a kind, and a switch that swallowed it
+// in default would drop protocol traffic without a diagnostic.
+func KindSwitch(p *Package, cfg *Config) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ann := p.Annots[f]
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := namedKindType(p.Info.TypeOf(sw.Tag), cfg)
+			if named == nil {
+				return true
+			}
+			required := exportedConsts(named)
+			handled := make(map[string]bool)
+			for _, stmt := range sw.Body.List {
+				cc := stmt.(*ast.CaseClause)
+				for _, e := range cc.List {
+					if obj := constObj(p.Info, e); obj != nil {
+						handled[obj.Name()] = true
+					}
+				}
+			}
+			line := p.Fset.Position(sw.Pos()).Line
+			excused := make(map[string]bool)
+			if d, ok := ann.at(line, dirKinds); ok {
+				for _, k := range d.kindList() {
+					excused[k] = true
+				}
+			}
+			var missing, stale []string
+			for _, k := range required {
+				if !handled[k] && !excused[k] {
+					missing = append(missing, k)
+				}
+			}
+			for k := range excused {
+				if handled[k] {
+					stale = append(stale, k)
+				}
+			}
+			sort.Strings(stale)
+			pos := p.Fset.Position(sw.Pos())
+			if len(missing) > 0 {
+				out = append(out, Finding{Pos: pos, Pass: "kindswitch",
+					Msg: fmt.Sprintf("switch over %s does not handle %s (add the case or list it in //varlint:kinds)",
+						named.Obj().Name(), strings.Join(missing, ", "))})
+			}
+			for _, k := range stale {
+				out = append(out, Finding{Pos: pos, Pass: "kindswitch",
+					Msg: fmt.Sprintf("//varlint:kinds lists %s but the switch handles it; drop the stale entry", k)})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// namedKindType returns the named type of t if it is one of the
+// configured protocol kind types.
+func namedKindType(t types.Type, cfg *Config) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil
+	}
+	q := obj.Pkg().Path() + "." + obj.Name()
+	for _, want := range cfg.KindTypes {
+		if q == want {
+			return named
+		}
+	}
+	return nil
+}
+
+// exportedConsts lists the exported package-level constants of exactly
+// the named type, declared in the type's own package, sorted by name.
+func exportedConsts(named *types.Named) []string {
+	scope := named.Obj().Pkg().Scope()
+	var out []string
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() {
+			continue
+		}
+		if types.Identical(c.Type(), named) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// constObj resolves a case expression to the constant object it names
+// (ident or pkg.Sel), or nil.
+func constObj(info *types.Info, e ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	c, _ := info.Uses[id].(*types.Const)
+	return c
+}

@@ -1,0 +1,168 @@
+package lint
+
+// The golden-fixture harness: each package under testdata/src/ carries
+// `// want "regex"` comments on the lines where a pass must report, in the
+// style of golang.org/x/tools' analysistest (which the stdlib-only
+// constraint rules out importing). A fixture run fails on any unexpected
+// finding and on any want left unmatched, so both false positives and
+// false negatives break the test.
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	loaderOnce   sync.Once
+	sharedLoader *Loader
+	loaderErr    error
+)
+
+// repoLoader returns a process-wide loader rooted at the repository
+// module. Sharing it across tests reuses the (expensive) source-imported
+// standard library packages.
+func repoLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() { sharedLoader, loaderErr = NewLoader(".") })
+	if loaderErr != nil {
+		t.Fatal(loaderErr)
+	}
+	return sharedLoader
+}
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	p, err := repoLoader(t).LoadDir(filepath.Join("testdata", "src", name), "fixture/"+name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+var wantRE = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// fixtureWants indexes every `// want "..."` comment by file and line.
+func fixtureWants(p *Package) map[wantKey][]string {
+	wants := make(map[wantKey][]string)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					pos := p.Fset.Position(c.Pos())
+					k := wantKey{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], m[1])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture matches findings against want comments one-to-one.
+func checkFixture(t *testing.T, p *Package, got []Finding) {
+	t.Helper()
+	if len(p.Bad) != 0 {
+		for _, f := range p.Bad {
+			t.Errorf("malformed directive in fixture: %s", f)
+		}
+	}
+	wants := fixtureWants(p)
+	for _, f := range got {
+		k := wantKey{f.Pos.Filename, f.Pos.Line}
+		matched := -1
+		for i, w := range wants[k] {
+			re, err := regexp.Compile(w)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", k.file, k.line, w, err)
+			}
+			if re.MatchString(f.Msg) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			t.Errorf("%s:%d: no finding matching %q", k.file, k.line, w)
+		}
+	}
+}
+
+func TestKindSwitchFixture(t *testing.T) {
+	p := loadFixture(t, "kindswitch")
+	cfg := &Config{KindTypes: []string{"fixture/kindswitch.Kind"}}
+	checkFixture(t, p, KindSwitch(p, cfg))
+}
+
+func TestZeroAllocFixture(t *testing.T) {
+	p := loadFixture(t, "zeroalloc")
+	checkFixture(t, p, ZeroAlloc(p, DefaultConfig()))
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	p := loadFixture(t, "determinism")
+	cfg := DefaultConfig()
+	cfg.DetPackages = []string{"fixture/determinism"}
+	cfg.DetExcludeFiles = map[string][]string{"fixture/determinism": {"excluded*.go"}}
+	checkFixture(t, p, Determinism(p, cfg))
+}
+
+func TestSnapFieldsFixture(t *testing.T) {
+	p := loadFixture(t, "snapfields")
+	checkFixture(t, p, SnapFields(p, DefaultConfig()))
+}
+
+// TestAnnotationFindings checks that malformed directives are reported and
+// that a reasonless suppression does not suppress.
+func TestAnnotationFindings(t *testing.T) {
+	p := loadFixture(t, "annot")
+	if len(p.Bad) != 2 {
+		t.Fatalf("got %d malformed-directive findings, want 2:\n%v", len(p.Bad), p.Bad)
+	}
+	if !strings.Contains(p.Bad[0].Msg, "unknown varlint directive nosuchpass") {
+		t.Errorf("first finding = %q, want unknown-directive", p.Bad[0].Msg)
+	}
+	if !strings.Contains(p.Bad[1].Msg, "needs an argument") {
+		t.Errorf("second finding = %q, want missing-argument", p.Bad[1].Msg)
+	}
+
+	cfg := DefaultConfig()
+	cfg.DetPackages = []string{"fixture/annot"}
+	fs := Determinism(p, cfg)
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "time.Now") {
+		t.Errorf("reasonless wallclock directive suppressed the finding: %v", fs)
+	}
+}
+
+// TestRepoIsClean is the dog-food gate in test form: the repository's own
+// sources must produce zero findings under the default configuration.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module from source")
+	}
+	l := repoLoader(t)
+	pkgs, err := l.LoadPatterns("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Run(pkgs, DefaultConfig())
+	for _, p := range pkgs {
+		fs = append(fs, p.Bad...)
+	}
+	for _, f := range fs {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package plus the side tables the
+// passes need.
+type Package struct {
+	Path   string
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+	Annots map[*ast.File]*annots // per-file directive index
+	Bad    []Finding             // malformed directives
+
+	// Decls maps every declared function/method object to its
+	// declaration, for the passes' intra-package reachability walks.
+	Decls map[types.Object]*ast.FuncDecl
+}
+
+// Loader parses and type-checks module packages from source. Imports of
+// module-internal packages resolve through the loader itself (so one
+// *Package per path, shared type identity within a run); everything else
+// falls through to the standard library's source importer.
+type Loader struct {
+	Fset *token.FileSet
+
+	modPath string // module path from go.mod
+	modRoot string // directory holding go.mod
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader builds a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, path, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		modPath: path,
+		modRoot: root,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod.
+func findModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadPatterns expands go package patterns (e.g. ./...) with `go list`
+// and loads every matched package.
+func (l *Loader) LoadPatterns(patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-f", "{{.ImportPath}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.modRoot
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, ee.Stderr)
+		}
+		return nil, fmt.Errorf("go list %s: %v", strings.Join(patterns, " "), err)
+	}
+	var pkgs []*Package
+	for _, path := range strings.Fields(string(out)) {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load parses and type-checks one module package by import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.modRoot
+	if path != l.modPath {
+		rel, ok := strings.CutPrefix(path, l.modPath+"/")
+		if !ok {
+			return nil, fmt.Errorf("lint: %s is outside module %s", path, l.modPath)
+		}
+		dir = filepath.Join(l.modRoot, filepath.FromSlash(rel))
+	}
+	p, err := l.loadDir(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// LoadDir loads a directory as a stand-alone package under a synthetic
+// import path — the entry point for lint's own test fixtures.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	if p, ok := l.pkgs[asPath]; ok {
+		return p, nil
+	}
+	p, err := l.loadDir(dir, asPath)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[asPath] = p
+	return p, nil
+}
+
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no non-test go files in %s", dir)
+	}
+
+	p := &Package{
+		Path:   path,
+		Fset:   l.Fset,
+		Info:   newInfo(),
+		Annots: make(map[*ast.File]*annots),
+		Decls:  make(map[types.Object]*ast.FuncDecl),
+	}
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		p.Files = append(p.Files, f)
+		a, bad := parseAnnots(l.Fset, f)
+		p.Annots[f] = a
+		p.Bad = append(p.Bad, bad...)
+	}
+
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tp, err := conf.Check(path, l.Fset, p.Files, p.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	p.Types = tp
+
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					p.Decls[obj] = fd
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// loaderImporter adapts Loader to types.ImporterFrom: module-internal
+// imports come back from the loader's cache, the rest from the standard
+// source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SnapFields enforces the snapshot-coverage contract: for every struct
+// that has both a Snapshot-side method (AppendSnapshot / Snapshot*) and a
+// Restore-side method (Restore*), every field must be referenced on both
+// sides — directly or through same-package helpers the methods call — or
+// carry a //varlint:volatile <reason> tag stating why the field is
+// legitimately not persisted. Both PR-8 chaos-harness bugs were a piece
+// of state a recovery path didn't cover; this pass makes that a build
+// break the moment the field is added.
+func SnapFields(p *Package, cfg *Config) []Finding {
+	var out []Finding
+	for _, name := range p.Types.Scope().Names() {
+		tn, ok := p.Types.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var snaps, restores []*ast.FuncDecl
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			fd := p.Decls[m]
+			if fd == nil || fd.Body == nil {
+				continue
+			}
+			switch {
+			case isSnapshotName(m.Name()):
+				snaps = append(snaps, fd)
+			case strings.HasPrefix(m.Name(), "Restore"):
+				restores = append(restores, fd)
+			}
+		}
+		if len(snaps) == 0 || len(restores) == 0 {
+			continue
+		}
+		snapRefs := fieldRefs(p, named, snaps)
+		restRefs := fieldRefs(p, named, restores)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			pos := p.Fset.Position(f.Pos())
+			if ann := annotsForFile(p, f.Pos()); ann != nil {
+				if _, ok := ann.at(pos.Line, dirVolatile); ok {
+					continue
+				}
+			}
+			inSnap, inRest := snapRefs[f], restRefs[f]
+			if inSnap && inRest {
+				continue
+			}
+			var miss string
+			switch {
+			case !inSnap && !inRest:
+				miss = "either the snapshot or the restore path"
+			case !inSnap:
+				miss = "the snapshot path"
+			default:
+				miss = "the restore path"
+			}
+			out = append(out, Finding{Pos: pos, Pass: "snapfields",
+				Msg: fmt.Sprintf("field %s of %s is not covered by %s; persist it or tag it //varlint:volatile <reason>",
+					f.Name(), name, miss)})
+		}
+	}
+	return out
+}
+
+// isSnapshotName matches the snapshot-side method names: AppendSnapshot
+// and Snapshot* (but not the SnapshotHash integrity accessor).
+func isSnapshotName(name string) bool {
+	if name == "AppendSnapshot" {
+		return true
+	}
+	return strings.HasPrefix(name, "Snapshot") && name != "SnapshotHash"
+}
+
+// annotsForFile finds the directive index of the file containing pos.
+func annotsForFile(p *Package, pos token.Pos) *annots {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return p.Annots[f]
+		}
+	}
+	return nil
+}
+
+// fieldRefs returns the set of named's own struct fields referenced in
+// the given methods or in any same-package function they transitively
+// call. A selection of a field promoted through an embedded field counts
+// as a reference to the embedded field itself.
+func fieldRefs(p *Package, named *types.Named, roots []*ast.FuncDecl) map[*types.Var]bool {
+	st := named.Underlying().(*types.Struct)
+	refs := make(map[*types.Var]bool)
+
+	// Gather the closure of same-package functions reachable from roots.
+	visited := make(map[*ast.FuncDecl]bool)
+	queue := append([]*ast.FuncDecl(nil), roots...)
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		if fd == nil || visited[fd] || fd.Body == nil {
+			continue
+		}
+		visited[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeObj(p, call); callee != nil {
+				if next, ok := p.Decls[callee]; ok {
+					queue = append(queue, next)
+				}
+			}
+			return true
+		})
+	}
+
+	for fd := range visited {
+		ast.Inspect(fd, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				sel := p.Info.Selections[n]
+				if sel == nil {
+					return true
+				}
+				recv := sel.Recv()
+				if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+					recv = ptr.Elem()
+				}
+				if !sameNamed(recv, named) {
+					return true
+				}
+				if idx := sel.Index(); len(idx) > 0 && idx[0] < st.NumFields() {
+					refs[st.Field(idx[0])] = true
+				}
+			case *ast.Ident:
+				// Struct-literal keys (T{field: v}) resolve to the field
+				// object in Uses.
+				if v, ok := p.Info.Uses[n].(*types.Var); ok && v.IsField() {
+					for i := 0; i < st.NumFields(); i++ {
+						if st.Field(i) == v {
+							refs[v] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return refs
+}
+
+func sameNamed(t types.Type, named *types.Named) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() == named.Obj()
+}

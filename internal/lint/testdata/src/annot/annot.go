@@ -1,0 +1,15 @@
+// Package annot exercises the malformed-directive findings: a directive
+// that fails to parse is itself reported, so a typo can never silently
+// disarm a suppression.
+package annot
+
+import "time"
+
+// Stamp sits under two broken directives. The unknown pass name and the
+// reasonless suppression are both findings, and the reasonless
+// //varlint:wallclock does not suppress the time.Now finding below it.
+func Stamp() int64 {
+	//varlint:nosuchpass
+	//varlint:wallclock
+	return time.Now().UnixNano()
+}

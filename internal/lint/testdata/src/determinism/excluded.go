@@ -1,0 +1,11 @@
+// excluded.go is matched by the fixture's DetExcludeFiles glob: nothing in
+// it is reported, even without audits. This models the TCP transport
+// carve-out inside the otherwise deterministic internal/dist.
+package determinism
+
+import "time"
+
+// TransportClock reads the wall clock freely.
+func TransportClock() int64 {
+	return time.Now().UnixNano()
+}

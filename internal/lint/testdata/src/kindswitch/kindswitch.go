@@ -1,0 +1,85 @@
+// Package kindswitch is the golden fixture for the kindswitch pass: a
+// three-constant protocol enum with switches that are incomplete, hide
+// behind default, are complete, are suppressed with a reason, and carry a
+// stale suppression.
+package kindswitch
+
+// Kind is the fixture protocol enum.
+type Kind uint8
+
+// The exported kinds every switch must account for.
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+)
+
+// kindInternal is unexported and therefore never required.
+const kindInternal Kind = 99
+
+// Missing silently drops KindC.
+func Missing(k Kind) int {
+	switch k { // want "switch over Kind does not handle KindC"
+	case KindA:
+		return 1
+	case KindB:
+		return 2
+	}
+	return 0
+}
+
+// DefaultDoesNotCount shows that a default clause is not exhaustiveness:
+// a default that swallows an unknown kind is exactly the target bug class.
+func DefaultDoesNotCount(k Kind) int {
+	switch k { // want "switch over Kind does not handle KindB, KindC"
+	case KindA:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Complete handles every exported kind, including the internal one it is
+// never asked about.
+func Complete(k Kind) int {
+	switch k {
+	case KindA:
+		return 1
+	case KindB:
+		return 2
+	case KindC, kindInternal:
+		return 3
+	}
+	return 0
+}
+
+// Suppressed deliberately handles only KindA and says so.
+func Suppressed(k Kind) int {
+	//varlint:kinds KindB,KindC
+	switch k {
+	case KindA:
+		return 1
+	}
+	return 0
+}
+
+// Stale excuses a kind the switch meanwhile grew a case for.
+func Stale(k Kind) int {
+	//varlint:kinds KindB,KindC
+	switch k { // want "varlint:kinds lists KindB but the switch handles it"
+	case KindA:
+		return 1
+	case KindB:
+		return 2
+	}
+	return 0
+}
+
+// NotAKindSwitch switches over a plain int: out of scope.
+func NotAKindSwitch(n int) int {
+	switch n {
+	case 0:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,76 @@
+// Package snapfields is the golden fixture for the snapfields pass: a
+// fully-covered struct with an audited scratch field, a struct missing
+// coverage on one or both sides, helper-indirected coverage, and a struct
+// with no Snapshot/Restore pair at all.
+package snapfields
+
+// Good persists every field on both sides; tmp is audited volatile.
+type Good struct {
+	n   int64
+	buf []uint64
+	tmp []uint64 //varlint:volatile reusable scratch; rebuilt on first use
+}
+
+// AppendSnapshot persists n and buf.
+func (g *Good) AppendSnapshot(dst []uint64) []uint64 {
+	dst = append(dst, uint64(g.n))
+	dst = append(dst, g.buf...)
+	return dst
+}
+
+// RestoreSnapshot restores n and buf.
+func (g *Good) RestoreSnapshot(src []uint64) {
+	g.n = int64(src[0])
+	g.buf = append(g.buf[:0], src[1:]...)
+}
+
+// Bad forgot epoch entirely and restores without hash.
+type Bad struct {
+	n     int64
+	epoch int64  // want "field epoch of Bad is not covered by either the snapshot or the restore path"
+	hash  uint64 // want "field hash of Bad is not covered by the restore path"
+}
+
+// AppendSnapshot persists n and hash but not epoch.
+func (b *Bad) AppendSnapshot(dst []uint64) []uint64 {
+	return append(dst, uint64(b.n), b.hash)
+}
+
+// RestoreSnapshot restores only n.
+func (b *Bad) RestoreSnapshot(src []uint64) {
+	b.n = int64(src[0])
+}
+
+// Indirect covers its fields only through same-package helpers, which the
+// pass follows transitively.
+type Indirect struct {
+	a int64
+	b int64
+}
+
+// AppendSnapshot delegates to encode.
+func (x *Indirect) AppendSnapshot(dst []uint64) []uint64 {
+	return x.encode(dst)
+}
+
+// RestoreSnapshot delegates to decode.
+func (x *Indirect) RestoreSnapshot(src []uint64) {
+	x.decode(src)
+}
+
+func (x *Indirect) encode(dst []uint64) []uint64 {
+	return append(dst, uint64(x.a), uint64(x.b))
+}
+
+func (x *Indirect) decode(src []uint64) {
+	x.a = int64(src[0])
+	x.b = int64(src[1])
+}
+
+// NoPair has a snapshot side but no restore side: out of scope.
+type NoPair struct {
+	n int64
+}
+
+// AppendSnapshot is unpaired, so NoPair is never checked.
+func (n *NoPair) AppendSnapshot(dst []uint64) []uint64 { return dst }

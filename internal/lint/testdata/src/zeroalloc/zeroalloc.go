@@ -1,0 +1,73 @@
+// Package zeroalloc is the golden fixture for the zeroalloc pass: one
+// function per verdict — a violator hitting every construct class, a clean
+// hot function, an audited suppression, and an unannotated allocator the
+// pass must ignore.
+package zeroalloc
+
+type counter struct {
+	buf []int
+	n   int
+}
+
+func sinkAll(vs ...interface{}) {
+	_ = vs
+}
+
+// Hot is enrolled and trips every construct class the pass bans.
+//
+//varlint:zeroalloc
+func Hot(c *counter, s string, ch chan interface{}) interface{} {
+	m := make([]int, 4) // want "make allocates"
+	c.buf = m
+	p := new(counter) // want "new allocates"
+	_ = p
+	lit := []int{1, 2} // want "slice literal allocates"
+	_ = lit
+	mp := map[int]int{} // want "map literal allocates"
+	_ = mp
+	q := &counter{} // want "address-of composite literal escapes"
+	_ = q
+	s = s + "x"                    // want "string concatenation allocates"
+	s += "y"                       // want "string concatenation allocates"
+	f := func() int { return c.n } // want "closure captures c"
+	_ = f
+	sinkAll(c)   // pointers fit the interface word: no boxing
+	sinkAll(c.n) // want "interface boxing of int"
+	ch <- c.n    // want "interface boxing of int"
+	return c.n   // want "interface boxing of int"
+}
+
+// Cold is enrolled and clean: arithmetic, field stores, pointer-shaped
+// returns, and a static closure.
+//
+//varlint:zeroalloc
+func Cold(c *counter, x int) *counter {
+	c.n += x
+	if c.n > len(c.buf) {
+		c.n = len(c.buf)
+	}
+	f := func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	c.n = f(c.n, x)
+	return c
+}
+
+// Audited is enrolled; its one allocation is a lazily-built buffer with an
+// audit trail.
+//
+//varlint:zeroalloc
+func Audited(c *counter) {
+	if c.buf == nil {
+		c.buf = make([]int, 16) //varlint:allocok one-time lazy init, not per-update
+	}
+	c.n++
+}
+
+// NotEnrolled allocates freely: only annotated functions are inspected.
+func NotEnrolled() []int {
+	return make([]int, 8)
+}

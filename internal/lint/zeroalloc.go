@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ZeroAlloc flags syntactically allocating constructs inside functions
+// annotated //varlint:zeroalloc. It is deliberately conservative-static:
+// it does not run escape analysis (that is `varlint -escape`'s job, which
+// asks the real compiler); it bans the construct classes that reliably
+// allocate on the hot path:
+//
+//   - make and new of anything, and map/slice composite literals
+//   - address-of a composite literal (&T{...} escapes unless the compiler
+//     proves otherwise — audit with //varlint:allocok if it does)
+//   - string concatenation (+, +=)
+//   - function literals that capture enclosing variables (the closure
+//     context is heap-allocated)
+//   - interface boxing: a non-pointer-shaped, non-constant value used
+//     where an interface is expected (call argument, assignment, return,
+//     composite-literal element, channel send)
+//
+// Findings are suppressed line-by-line with //varlint:allocok <reason>.
+func ZeroAlloc(p *Package, cfg *Config) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ann := p.Annots[f]
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcDoc(fd, dirZeroAlloc) {
+				continue
+			}
+			out = append(out, zeroAllocFunc(p, ann, fd)...)
+		}
+	}
+	return out
+}
+
+func zeroAllocFunc(p *Package, ann *annots, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	report := func(pos token.Pos, msg string) {
+		position := p.Fset.Position(pos)
+		if _, ok := ann.at(position.Line, dirAllocOK); ok {
+			return
+		}
+		out = append(out, Finding{Pos: position, Pass: "zeroalloc",
+			Msg: msg + " in zero-alloc function " + fd.Name.Name})
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if b, ok := p.Info.Uses[fun].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make":
+						report(n.Pos(), "make allocates")
+					case "new":
+						report(n.Pos(), "new allocates")
+					}
+				}
+			}
+			checkCallBoxing(p, n, report)
+		case *ast.CompositeLit:
+			switch p.Info.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				report(n.Pos(), "map literal allocates")
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "address-of composite literal escapes")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(p.Info.TypeOf(n.X)) && !isConst(p.Info, n) {
+				report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && isString(p.Info.TypeOf(n.Lhs[0])) {
+				report(n.Pos(), "string concatenation allocates")
+			}
+			checkAssignBoxing(p, n, report)
+		case *ast.FuncLit:
+			if capt := captures(p, n); capt != "" {
+				report(n.Pos(), "closure captures "+capt+"; the context heap-allocates")
+			}
+			return false // do not double-report the literal's own body
+		case *ast.ReturnStmt:
+			checkReturnBoxing(p, fd, n, report)
+		case *ast.SendStmt:
+			if ch, ok := p.Info.TypeOf(n.Chan).Underlying().(*types.Chan); ok {
+				checkBoxing(p, n.Value, ch.Elem(), report)
+			}
+		case *ast.KeyValueExpr:
+			// Struct/map composite elements are covered by the composite
+			// literal checks above and checkCompositeBoxing below.
+		}
+		return true
+	})
+	return out
+}
+
+// checkCallBoxing flags non-pointer-shaped concrete arguments passed to
+// interface parameters, and conversions to interface types.
+func checkCallBoxing(p *Package, call *ast.CallExpr, report func(token.Pos, string)) {
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion T(x).
+		if len(call.Args) == 1 {
+			checkBoxing(p, call.Args[0], tv.Type, report)
+		}
+		return
+	}
+	sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var want types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				want = params.At(params.Len() - 1).Type()
+			} else {
+				want = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			want = params.At(i).Type()
+		}
+		if want != nil {
+			checkBoxing(p, arg, want, report)
+		}
+	}
+}
+
+func checkAssignBoxing(p *Package, as *ast.AssignStmt, report func(token.Pos, string)) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if as.Tok == token.DEFINE {
+			continue // new variable takes the RHS type; no conversion
+		}
+		checkBoxing(p, rhs, p.Info.TypeOf(as.Lhs[i]), report)
+	}
+}
+
+func checkReturnBoxing(p *Package, fd *ast.FuncDecl, ret *ast.ReturnStmt, report func(token.Pos, string)) {
+	obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := obj.Type().(*types.Signature).Results()
+	if results.Len() != len(ret.Results) {
+		return
+	}
+	for i, r := range ret.Results {
+		checkBoxing(p, r, results.At(i).Type(), report)
+	}
+}
+
+// checkBoxing reports expr if assigning it to a location of type want
+// boxes a non-pointer-shaped value into an interface.
+func checkBoxing(p *Package, expr ast.Expr, want types.Type, report func(token.Pos, string)) {
+	// want is nil for a blank-identifier destination (`_ = x`).
+	if want == nil || !types.IsInterface(want) {
+		return
+	}
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Value != nil {
+		return // constants box to static data, not the heap
+	}
+	got := tv.Type
+	if got == nil || types.IsInterface(got) || isUntypedNil(got) || pointerShaped(got) {
+		return
+	}
+	report(expr.Pos(), "interface boxing of "+got.String())
+}
+
+// pointerShaped reports whether values of t fit an interface word
+// without allocation.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// captures describes the first enclosing-scope variable a function
+// literal captures ("" when it captures nothing: a static closure).
+// Package-level variables are direct references, not captures.
+func captures(p *Package, lit *ast.FuncLit) string {
+	found := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == types.Universe {
+			return true
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level
+		}
+		// Declared inside the literal itself (including its params)?
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true
+		}
+		found = v.Name()
+		return false
+	})
+	return found
+}

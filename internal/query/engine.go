@@ -15,6 +15,8 @@ import (
 // sites: site i becomes virtual node qid·k+i, the coordinator becomes
 // −(1+qid). Query 0 is tagged identically to a standalone deployment,
 // which is what makes the Q = 1 anchor property hold byte for byte.
+//
+//varlint:zeroalloc
 func Tag(m dist.Msg, qid, k int) dist.Msg {
 	if m.Site == dist.CoordID {
 		m.Site = int32(-(1 + qid))
@@ -26,6 +28,8 @@ func Tag(m dist.Msg, qid, k int) dist.Msg {
 
 // Demux inverts Tag: it returns the query id and the message with its
 // original routing field restored.
+//
+//varlint:zeroalloc
 func Demux(m dist.Msg, k int) (qid int, inner dist.Msg) {
 	if m.Site < 0 {
 		qid = int(-m.Site) - 1
@@ -451,8 +455,8 @@ type siteChild struct {
 // per-item counts — which is what lets a query attaching mid-stream
 // bootstrap the history it never saw.
 type Site struct {
-	eng *Engine
-	id  int
+	eng *Engine //varlint:volatile wiring to the shared registry; the restoring process re-registers the same specs
+	id  int     //varlint:volatile construction-time identity; RebuildSite builds the restore target with the same id
 
 	// children is indexed by query id; nil entries are unattached or
 	// detached queries.
@@ -463,7 +467,7 @@ type Site struct {
 	// block-partitioned, and caught up (ahead == 0, nothing pending) — so
 	// OnUpdate can make one concrete call with no per-child checks.
 	// recomputeSolo maintains it at every point those conditions can change.
-	solo *track.BlockSite
+	solo *track.BlockSite //varlint:volatile derived from children; RestoreSnapshot recomputes it
 
 	// The spine: everything a future attach might need to reconstruct.
 	updates     int64
@@ -475,21 +479,21 @@ type Site struct {
 	// probes that were ~12% of the engine profile; a miss costs the same
 	// two map operations the eager path paid. history() flushes it before
 	// reading the map.
-	cacheItem uint64
-	cacheN    int64
+	cacheItem uint64 //varlint:volatile write-back cache; RestoreSnapshot invalidates it via cacheOK
+	cacheN    int64  //varlint:volatile write-back cache; RestoreSnapshot invalidates it via cacheOK
 	cacheOK   bool
 
 	// Scratch reused across OnUpdateBatch calls — filtered-view buffers
 	// and the send-capture sink — keeping the batched fan-out alloc-free
 	// at steady state.
-	fbuf    []stream.Update
-	fpos    []int
-	capture captureOutbox
+	fbuf    []stream.Update //varlint:volatile reusable scratch buffer
+	fpos    []int           //varlint:volatile reusable scratch buffer
+	capture captureOutbox   //varlint:volatile reusable scratch sink; AppendSnapshot requires quiescence first
 
 	// rebuilt marks a replacement site (Coord.RebuildSite): the registry's
 	// prebuilt site halves belong to the dead predecessor, so attach must
 	// construct fresh child algorithms instead of reusing them.
-	rebuilt bool
+	rebuilt bool //varlint:volatile per-incarnation flag; RestoreSnapshot itself sets it
 }
 
 // captureOutbox buffers a child's (already tagged) messages during a
@@ -548,6 +552,8 @@ func (s *Site) recomputeSolo() {
 // spineMass folds one delta into the ± mass split, branch-free: a
 // random-sign delta stream would mispredict a sign branch about half the
 // time, once per update.
+//
+//varlint:zeroalloc
 func (s *Site) spineMass(delta int64) {
 	mask := delta >> 63
 	s.plus += delta &^ mask
@@ -557,6 +563,8 @@ func (s *Site) spineMass(delta int64) {
 // spineItem folds one item delta into the spine through the write-back
 // cache. The cached entry may shadow a stale value in the map until
 // flushItemCache writes it back.
+//
+//varlint:zeroalloc
 func (s *Site) spineItem(item uint64, delta int64) {
 	if s.cacheOK && item == s.cacheItem {
 		s.cacheN += delta
@@ -594,6 +602,8 @@ func (s *Site) flushPending(ch *siteChild, out dist.Outbox) {
 // has already ingested this update; its position debt is paid down
 // instead, and a buffered send is released on exactly the update it
 // happened on.
+//
+//varlint:zeroalloc
 func (s *Site) OnUpdate(u stream.Update, out dist.Outbox) {
 	s.updates++
 	s.spineMass(u.Delta)
@@ -648,6 +658,8 @@ func (s *Site) OnUpdate(u stream.Update, out dist.Outbox) {
 // the network on exactly the update it would have under per-update
 // dispatch — which is what keeps transcripts, per-step estimates, and
 // per-query Stats byte-identical across the two drive modes.
+//
+//varlint:zeroalloc
 func (s *Site) OnUpdateBatch(us []stream.Update, out dist.Outbox) int {
 	// Q = 1 fast path (see Site.solo): the sole child's consumed prefix is
 	// the site's, and its send — which by the BatchSiteAlgo contract lands
@@ -715,6 +727,8 @@ func (s *Site) OnUpdateBatch(us []stream.Update, out dist.Outbox) int {
 // feed drives ch over us[start:lim), capturing any send into ch.pending.
 // It returns the child's new absolute position: the send's update index
 // plus one when a send was captured, lim otherwise.
+//
+//varlint:zeroalloc
 func (s *Site) feed(ch *siteChild, us []stream.Update, start, lim int) int {
 	s.capture.buf = &ch.pending
 	// Query 0's sends are untagged, so its child captures directly.
@@ -756,6 +770,8 @@ func (s *Site) feed(ch *siteChild, us []stream.Update, start, lim int) int {
 
 // feedOnce advances ch over a nonempty slice through its fastest
 // available path and returns how many updates it consumed (≥ 1).
+//
+//varlint:zeroalloc
 func (s *Site) feedOnce(ch *siteChild, us []stream.Update, dst dist.Outbox) int {
 	var n int
 	switch {

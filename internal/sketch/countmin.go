@@ -58,6 +58,8 @@ func (cm *CountMin) Depth() int { return cm.depth }
 func (cm *CountMin) Cells() int { return cm.depth * int(cm.width) }
 
 // Add applies an update (item, delta) to every row.
+//
+//varlint:zeroalloc
 func (cm *CountMin) Add(item uint64, delta int64) {
 	for i, h := range cm.hashes {
 		cm.rows[i][h.Hash(item)] += delta
@@ -65,6 +67,8 @@ func (cm *CountMin) Add(item uint64, delta int64) {
 }
 
 // Estimate returns the row-minimum frequency estimate for item.
+//
+//varlint:zeroalloc
 func (cm *CountMin) Estimate(item uint64) int64 {
 	est := cm.rows[0][cm.hashes[0].Hash(item)]
 	for i := 1; i < cm.depth; i++ {

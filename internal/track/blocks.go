@@ -86,15 +86,15 @@ func blockExponent(f int64, k int) int64 {
 // BlockSite runs the §3.1 partition protocol at one site and delegates
 // in-block estimation to an InBlockSite.
 type BlockSite struct {
-	id    int32
+	id    int32 //varlint:volatile construction-time identity; NewReplacement builds the restore target with the same id
 	inner InBlockSite
 	// innerBatch/innerRejoin are inner if it implements the respective
 	// optional interface, else nil; the assertions are paid once at
 	// construction.
-	innerBatch  InBlockBatchSite
-	innerRejoin InBlockRejoiner
+	innerBatch  InBlockBatchSite //varlint:volatile derived from inner at construction
+	innerRejoin InBlockRejoiner  //varlint:volatile derived from inner at construction
 	r           int64
-	batch       int64 // ⌈2^{r−1}⌉
+	batch       int64 //varlint:volatile derived from r (the ⌈2^{r−1}⌉ report batch); RestoreSnapshot recomputes it
 	ci          int64 // updates since the last count report or state reply
 	fi          int64 // net change in f since the last block broadcast
 	seenBlocks  int64 // block broadcasts adopted; the site's block sequence
@@ -124,12 +124,16 @@ type BlockSite struct {
 	// acknowledgement wrongly discard the held state. Deferred replies go
 	// out right after the acknowledgement; the coordinator folds them
 	// through its normal open/duplicate/straggler paths.
-	takingOver     bool
-	heldCi, heldFi int64
-	defCi, defFi   int64
-	deferReply     bool
-	snapReplies    int64
-	snapHash       uint64
+	//
+	// None of this window state is snapshot-covered: its meaning is pinned
+	// to an announce this incarnation has in flight, so AppendSnapshot
+	// refuses to run while the window is open instead of persisting it.
+	takingOver     bool   //varlint:volatile takeover-window transient; AppendSnapshot errors while the window is open
+	heldCi, heldFi int64  //varlint:volatile takeover-window transient; AppendSnapshot errors while the window is open
+	defCi, defFi   int64  //varlint:volatile takeover-window transient; AppendSnapshot errors while the window is open
+	deferReply     bool   //varlint:volatile takeover-window transient; AppendSnapshot errors while the window is open
+	snapReplies    int64  //varlint:volatile takeover-window transient; AppendSnapshot errors while the window is open
+	snapHash       uint64 //varlint:volatile integrity hash of the restored blob; RestoreSite installs it after restore
 }
 
 // NewBlockSite wraps inner with the partition protocol for site id.
@@ -183,8 +187,12 @@ func (s *BlockSite) OnUpdateBatch(us []stream.Update, out dist.Outbox) int {
 	return consumed
 }
 
-// OnMessage implements dist.SiteAlgo.
+// OnMessage implements dist.SiteAlgo. A site receives only the
+// coordinator-originated partition kinds plus the two takeover
+// handshakes; reports are coordinator-bound and the attach/detach
+// control plane is demuxed one layer up in the query engine.
 func (s *BlockSite) OnMessage(m dist.Msg, out dist.Outbox) {
+	//varlint:kinds KindAttach,KindCountReport,KindDetach,KindDriftReport,KindFreqEnd,KindFreqReport,KindStateReply,KindValueReport
 	switch m.Kind {
 	case dist.KindStateRequest:
 		if s.takingOver {
@@ -393,7 +401,7 @@ type BlockCoord struct {
 	// coordinator was restored from, presented in the announce.
 	foldedCi []int64
 	foldedFi []int64
-	snapHash uint64
+	snapHash uint64 //varlint:volatile integrity hash of the restored blob; RestoreCoord installs it after restore
 
 	// Diagnostics for experiments and tests.
 	blocks     int64   // completed blocks
@@ -412,8 +420,12 @@ func NewBlockCoord(k int, inner InBlockCoord) *BlockCoord {
 	return c
 }
 
-// OnMessage implements dist.CoordAlgo.
+// OnMessage implements dist.CoordAlgo. The partition spine handles its
+// own four kinds; every in-block estimator kind (drift, frequency and
+// value reports) is forwarded to the inner coordinator by the default
+// clause, and the coordinator-originated broadcasts never arrive here.
 func (c *BlockCoord) OnMessage(m dist.Msg, out dist.Outbox) {
+	//varlint:kinds KindAttach,KindDetach,KindDriftReport,KindFreqEnd,KindFreqReport,KindNewBlock,KindStateRequest,KindValueReport
 	switch m.Kind {
 	case dist.KindCountReport:
 		c.that += m.A

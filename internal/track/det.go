@@ -16,8 +16,8 @@ import (
 
 // detSite is the site half of the deterministic tracker.
 type detSite struct {
-	id        int32
-	eps       float64
+	id        int32   //varlint:volatile construction-time identity; the restore target is built with the same id
+	eps       float64 //varlint:volatile construction-time config; only the derived threshold is live state
 	threshold float64 // ε·2^r floored at 1
 	di        int64   // drift this block
 	delta     int64   // δ_i: change in d_i since last report

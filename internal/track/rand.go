@@ -29,9 +29,9 @@ import (
 
 // randSite is the site half of the randomized tracker.
 type randSite struct {
-	id  int32
-	eps float64
-	k   int
+	id  int32   //varlint:volatile construction-time identity; the restore target is built with the same id
+	eps float64 //varlint:volatile construction-time config; only the derived p is live state
+	k   int     //varlint:volatile construction-time config; only the derived p is live state
 	src *rng.Xoshiro256
 
 	p      float64
@@ -115,8 +115,8 @@ func (s *randSite) OnRejoin(out dist.Outbox) {
 // randCoord is the coordinator half of the randomized tracker. As in
 // detCoord, the per-site estimates are dense slices indexed by site id.
 type randCoord struct {
-	k   int
-	eps float64
+	k   int     //varlint:volatile construction-time config; only the derived p is live state
+	eps float64 //varlint:volatile construction-time config; only the derived p is live state
 
 	p     float64
 	dplus []float64 // d̂_i^+ indexed by site id

@@ -264,6 +264,14 @@ func (s *BlockSite) AppendSnapshot(b []byte) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("track: in-block estimator %T does not support snapshots", s.inner)
 	}
+	if s.takingOver {
+		// The held and deferred counters exist only relative to the
+		// takeover announce this incarnation has in flight; a blob taken
+		// now would silently drop them (their fate is undecided until the
+		// coordinator's acknowledgement). Refuse, like the engine refuses
+		// to snapshot a site mid-batch.
+		return nil, fmt.Errorf("track: snapshot during an open takeover window")
+	}
 	b = append(b, snapTagBlock)
 	b = AppendSnapInt(b, s.r)
 	b = AppendSnapInt(b, s.ci)

@@ -37,9 +37,9 @@ func (s ThresholdState) String() string {
 // ThresholdMonitor wraps a tracking coordinator with the τ comparison.
 type ThresholdMonitor struct {
 	coord    dist.CoordAlgo
-	tau      int64
-	trigger  float64 // τ·(1−ε')
-	epsTrack float64
+	tau      int64   //varlint:volatile construction constant; the τ comparison is not tracker state
+	trigger  float64 //varlint:volatile construction constant, τ·(1−ε')
+	epsTrack float64 //varlint:volatile construction constant
 }
 
 // NewThresholdMonitor builds a deterministic (k, f, τ, ε) monitor. It
