@@ -40,6 +40,15 @@
 // -cpuprofile F / -memprofile F write pprof profiles of the measured suite
 // (all -count repetitions) for `go tool pprof` — see the profiling
 // workflow note in EXPERIMENTS.md.
+//
+// -metrics-out F writes the final per-experiment transport metrics as a
+// Prometheus text exposition (the same format varmon's /metrics serves):
+// one sample per counter family per experiment, labeled
+// {experiment="E25"}, plus aggregate families that the labeled samples
+// sum to exactly. Experiments opt in via Table.AddStats — the async,
+// engine, and fault experiments (E25–E32) do; the Sim-only sweeps keep
+// their message counts in their table columns. Pairs with -json to drop a
+// metrics snapshot next to the timing report.
 package main
 
 import (
@@ -55,6 +64,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/expt"
+	"repro/internal/obs"
 )
 
 // benchEntry is one experiment's timing in the -json report. With
@@ -101,6 +111,7 @@ func main() {
 		count    = flag.Int("count", 1, "repeat the suite N times; timings report the per-experiment minimum")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the measured suite to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file after the run")
+		metrics  = flag.String("metrics-out", "", "write the final per-experiment transport metrics as a Prometheus text exposition to this file")
 	)
 	flag.Parse()
 
@@ -242,6 +253,13 @@ func main() {
 		f.Close()
 	}
 
+	if *metrics != "" {
+		if err := writeMetricsSnapshot(*metrics, results); err != nil {
+			fmt.Fprintf(os.Stderr, "varbench: -metrics-out: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	if old != nil {
 		// stdout carries the tables (or the JSON report); route the
 		// comparison to stderr in -json mode to keep stdout parseable.
@@ -342,4 +360,46 @@ func printComparison(w *os.File, old *benchReport, results []expt.Timed, total t
 		fmt.Fprintf(w, "  total incomparable: experiment sets differ (this run %d, baseline %d)\n",
 			len(results), len(old.Experiments))
 	}
+}
+
+// writeMetricsSnapshot renders the per-experiment transport stats as one
+// Prometheus text exposition: every experiment that recorded stats
+// (Table.AddStats) becomes a class labeled with its ID, and the aggregate
+// families are the merge across all of them — so the per-experiment
+// samples of each counter family sum exactly to the aggregate sample, the
+// same invariant the runtimes' per-query tables keep.
+func writeMetricsSnapshot(path string, results []expt.Timed) error {
+	var ids []string
+	var classes []dist.Stats
+	var agg dist.Stats
+	for _, r := range results {
+		if r.Table == nil || r.Table.Stats == nil {
+			continue
+		}
+		ids = append(ids, r.Experiment.ID)
+		classes = append(classes, *r.Table.Stats)
+		agg.Merge(*r.Table.Stats)
+	}
+	m := &obs.Metrics{
+		Stats:      func() dist.Stats { return agg },
+		ClassLabel: "experiment",
+	}
+	if len(classes) > 0 {
+		m.Classes = func() []dist.Stats { return classes }
+		m.ClassValue = func(i int) string {
+			if i < len(ids) {
+				return ids[i]
+			}
+			return fmt.Sprintf("%d", i)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/expt"
+	"repro/internal/obs"
+)
+
+// TestWriteMetricsSnapshot pins the -metrics-out contract: experiments
+// that recorded transport stats appear as {experiment="ID"} samples,
+// experiments that did not are absent, and each labeled family sums to
+// its aggregate sample (StalenessMax as a maximum).
+func TestWriteMetricsSnapshot(t *testing.T) {
+	withStats := func(id string, s dist.Stats) expt.Timed {
+		tb := expt.NewTable(id, "test")
+		tb.AddStats(s)
+		return expt.Timed{Experiment: expt.Experiment{ID: id}, Table: tb}
+	}
+	results := []expt.Timed{
+		withStats("E25", dist.Stats{SiteToCoord: 100, CoordToSite: 10, Bytes: 2200,
+			StalenessSum: 40, StalenessMax: 9, Dropped: 3}),
+		{Experiment: expt.Experiment{ID: "E01"}, Table: expt.NewTable("E01", "no stats")},
+		withStats("E32", dist.Stats{SiteToCoord: 50, CoordToSite: 5, Bytes: 1100,
+			StalenessSum: 8, StalenessMax: 4, Takeovers: 2}),
+	}
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	if err := writeMetricsSnapshot(path, results); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseText(string(raw))
+	if err != nil {
+		t.Fatalf("snapshot is not parseable exposition: %v", err)
+	}
+	agg := map[string]float64{}
+	sum := map[string]float64{}
+	max := map[string]float64{}
+	labels := map[string]bool{}
+	for _, s := range samples {
+		if id := s.Label("experiment"); id != "" {
+			labels[id] = true
+			sum[s.Name] += s.Value
+			if s.Value > max[s.Name] {
+				max[s.Name] = s.Value
+			}
+		} else {
+			agg[s.Name] = s.Value
+		}
+	}
+	if !labels["E25"] || !labels["E32"] {
+		t.Fatalf("missing experiment labels: %v", labels)
+	}
+	if labels["E01"] {
+		t.Fatal("E01 recorded no stats but appears in the snapshot")
+	}
+	for name, want := range agg {
+		family := "varmon_experiment_" + name[len("varmon_"):]
+		got, fold := sum[family], "sum"
+		if name == "varmon_staleness_max_ticks" {
+			got, fold = max[family], "max"
+		}
+		if got != want {
+			t.Errorf("per-experiment %s of %s = %g, aggregate = %g", fold, family, got, want)
+		}
+	}
+	if got := agg["varmon_messages_site_to_coord_total"]; got != 150 {
+		t.Fatalf("aggregate site-to-coord = %g, want 150", got)
+	}
+	if got := agg["varmon_takeovers_total"]; got != 2 {
+		t.Fatalf("aggregate takeovers = %g, want 2", got)
+	}
+}
+
+// TestWriteMetricsSnapshotEmpty keeps the zero-experiment case valid: a
+// run whose selection recorded no stats still writes a parseable
+// exposition of all-zero aggregates.
+func TestWriteMetricsSnapshotEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	err := writeMetricsSnapshot(path, []expt.Timed{
+		{Experiment: expt.Experiment{ID: "E01"}, Table: expt.NewTable("E01", "no stats")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseText(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if s.Label("experiment") != "" {
+			t.Fatalf("unexpected labeled sample %+v", s)
+		}
+		if s.Value != 0 {
+			t.Fatalf("aggregate %s = %g in an empty snapshot", s.Name, s.Value)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// obsCfg carries the observability flags: -http (admin surface) and
+// -events-out (JSONL event trace dump). Either one enables event tracing.
+type obsCfg struct {
+	httpAddr  string
+	eventsOut string
+}
+
+func (o obsCfg) enabled() bool { return o.httpAddr != "" || o.eventsOut != "" }
+
+// admin wires the obs layer onto one run: an event ring shared by every
+// runtime incarnation the run goes through, an optional HTTP admin
+// server, and the final JSONL dump. A nil *admin is the disabled state —
+// every method no-ops — so runs without -http/-events-out install no
+// sinks and pay nothing.
+type admin struct {
+	cfg  obsCfg
+	ring *obs.Ring
+	srv  *obs.Server
+	done bool
+
+	// mu serializes runtime access between the driver loop and the HTTP
+	// handlers. The TCP Coordinator is internally locked and does not
+	// need it; the single-threaded simulators (Sim, AsyncSim) do, as does
+	// runTCPKillCoord's coordinator rebinding. Callbacks handed to
+	// obs.Metrics take it through locked().
+	mu sync.Mutex
+}
+
+func newAdmin(cfg obsCfg) *admin {
+	if !cfg.enabled() {
+		return nil
+	}
+	return &admin{cfg: cfg, ring: obs.NewRing(obs.DefaultRingCap)}
+}
+
+// sink returns the event sink to install on a runtime: the ring's Emit,
+// or nil when observability is off (runtimes nil-check their sink, so
+// nil keeps their hot paths allocation-free).
+func (a *admin) sink() dist.EventSink {
+	if a == nil {
+		return nil
+	}
+	return a.ring.Emit
+}
+
+// lock/unlock guard driver-loop runtime access against HTTP reads; on a
+// nil or serverless admin they still take the (uncontended) mutex only
+// when observability is on at all.
+func (a *admin) lock() {
+	if a != nil {
+		a.mu.Lock()
+	}
+}
+
+func (a *admin) unlock() {
+	if a != nil {
+		a.mu.Unlock()
+	}
+}
+
+// locked runs fn under the admin mutex — the form the metrics/status
+// callbacks use.
+func (a *admin) locked(fn func()) {
+	a.lock()
+	defer a.unlock()
+	fn()
+}
+
+// serve starts the HTTP admin surface when -http was given. The metrics
+// registry gains the event ring and the Go runtime gauges; the chosen
+// address (real port even for ":0") is printed so scripts and smokes can
+// scrape it.
+func (a *admin) serve(m *obs.Metrics, status func() any) {
+	if a == nil || a.cfg.httpAddr == "" {
+		return
+	}
+	m.Ring = a.ring
+	m.Runtime = true
+	srv, err := obs.Serve(a.cfg.httpAddr, obs.NewHandler(&obs.Admin{
+		Status:  status,
+		Metrics: m,
+		Ring:    a.ring,
+	}))
+	if err != nil {
+		fatalf("admin http on %s: %v", a.cfg.httpAddr, err)
+	}
+	a.srv = srv
+	fmt.Printf("admin surface on %s (/status /metrics /events /healthz /debug/pprof)\n", srv.URL())
+}
+
+// finish shuts the admin server down gracefully (no leaked listener) and
+// dumps the retained event trace to -events-out. It is idempotent: the
+// fault smokes call it before their final asserts so a failing run still
+// leaves its trace behind, and the deferred call then no-ops.
+func (a *admin) finish() {
+	if a == nil || a.done {
+		return
+	}
+	a.done = true
+	if a.srv != nil {
+		if err := a.srv.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "varmon: admin shutdown: %v\n", err)
+		}
+		a.srv = nil
+	}
+	if a.cfg.eventsOut != "" {
+		f, err := os.Create(a.cfg.eventsOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		events := a.ring.Snapshot()
+		if err := obs.WriteJSONL(f, events); err != nil {
+			fatalf("writing events: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing events: %v", err)
+		}
+		if ev := a.ring.Evicted(); ev > 0 {
+			fmt.Printf("wrote %d events to %s (%d older events evicted from the %d-deep ring)\n",
+				len(events), a.cfg.eventsOut, ev, obs.DefaultRingCap)
+		} else {
+			fmt.Printf("wrote %d events to %s\n", len(events), a.cfg.eventsOut)
+		}
+	}
+}
+
+// tcpHealth is the /healthz verdict for a TCP coordinator: degraded while
+// any site slot is presumed dead.
+func tcpHealth(coord *dist.Coordinator, k int) obs.Health {
+	for i := 0; i < k; i++ {
+		if coord.SiteDead(i) {
+			return obs.Health{Detail: fmt.Sprintf("site %d dead", i)}
+		}
+	}
+	return obs.Health{OK: true}
+}
+
+// serveAsyncAdmin starts the admin surface over an AsyncSim run. The
+// simulator is single-threaded, so every callback fences access through
+// the admin mutex — the driver loop holds it across Step. eng is non-nil
+// in multi-query mode and adds the per-query metric families plus the
+// query table on /status.
+func serveAsyncAdmin(sim *dist.AsyncSim, k int, a *admin, eng *query.Coord) {
+	m := &obs.Metrics{
+		Stats: func() dist.Stats { a.lock(); defer a.unlock(); return sim.Stats() },
+		Gauges: func(emit func(name, help string, value float64)) {
+			a.lock()
+			now, pending := sim.Now(), sim.Pending()
+			a.unlock()
+			emit("virtual_time_ticks", "Simulator virtual clock.", float64(now))
+			emit("pending_events", "Undelivered events in the simulator heap.", float64(pending))
+		},
+		Health: func() obs.Health {
+			a.lock()
+			defer a.unlock()
+			if sim.CoordCrashed() {
+				return obs.Health{Detail: "coordinator crashed"}
+			}
+			for i := 0; i < k; i++ {
+				if sim.Crashed(i) {
+					return obs.Health{Detail: fmt.Sprintf("site %d crashed", i)}
+				}
+				if sim.Suspected(i) {
+					return obs.Health{Detail: fmt.Sprintf("site %d suspected dead", i)}
+				}
+			}
+			return obs.Health{OK: true}
+		},
+	}
+	status := func() any {
+		a.lock()
+		defer a.unlock()
+		return singleStatus{Estimate: sim.Estimate(), Stats: sim.Stats()}
+	}
+	if eng != nil {
+		m.Classes = func() []dist.Stats { a.lock(); defer a.unlock(); return sim.ClassStats() }
+		m.ClassLabel = "query"
+		status = func() any {
+			a.lock()
+			defer a.unlock()
+			return liveStatus{Queries: eng.Status(), Stats: sim.Stats(), PerQuery: sim.ClassStats()}
+		}
+	}
+	a.serve(m, status)
+}

@@ -17,9 +17,14 @@
 //
 //	varmon -stream zipf -queries 'det,eps=0.05;freq,eps=0.1;det,eps=0.1,filter=even;rand,eps=0.1,at=50000'
 //
-// -http ADDR (with -queries, live TCP only) serves a JSON status endpoint
-// (GET /status) with per-query estimates and communication counters while
-// the run is in flight.
+// -http ADDR serves the live admin surface on any runtime: GET /status
+// (JSON estimates and counters), /metrics (Prometheus text exposition,
+// aggregate plus per-query families), /events?n=K (the newest K traced
+// protocol events as JSONL), /healthz (503 while a site or the
+// coordinator is down), and /debug/pprof. ":0" binds an ephemeral port
+// and prints the one chosen. -events-out FILE dumps the retained event
+// trace as JSONL at exit; either flag enables tracing, and runs with
+// neither install no sinks and pay nothing.
 //
 // Workloads can be recorded while running (-record FILE, a streaming tee —
 // the run and the file see the identical updates) and replayed (-replay
@@ -61,21 +66,20 @@
 // Usage:
 //
 //	varmon [-k 4] [-eps 0.1] [-n 100000] [-stream randwalk|biased|monotone|sawtooth|zipf] [-seed 1]
-//	       [-queries SPECS] [-http ADDR] [-record FILE] [-replay FILE] [-net MODEL]
+//	       [-queries SPECS] [-http ADDR] [-events-out FILE] [-record FILE] [-replay FILE] [-net MODEL]
 //	       [-dial-timeout 2s] [-hb 0] [-hb-miss 3] [-kill STEP:SITE] [-takeover-after 0]
 //	       [-kill-coord STEP] [-standby] [-snapshot-dir DIR] [-restore DIR]
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/stream"
 	"repro/internal/track"
@@ -136,26 +140,27 @@ func (t *tee) Next() (stream.Update, bool) {
 
 func main() {
 	var (
-		k        = flag.Int("k", 4, "number of sites")
-		eps      = flag.Float64("eps", 0.1, "relative error parameter (single-query mode)")
-		n        = flag.Int64("n", 100_000, "stream length")
-		seed     = flag.Uint64("seed", 1, "stream seed")
-		sclass   = flag.String("stream", "randwalk", "stream class: randwalk|biased|monotone|sawtooth|zipf")
-		refresh  = flag.Int64("progress", 10, "progress lines to print")
-		record   = flag.String("record", "", "tee the workload into this trace file while running")
-		replay   = flag.String("replay", "", "drive the run from a recorded trace file instead of a generator")
-		netFlag  = flag.String("net", "", "run on the async fault simulator under this model (e.g. latency=8,jitter=2,drop=0.01,retrans=3) instead of live TCP")
-		queries  = flag.String("queries", "", "multi-query mode: ';'-separated query specs, e.g. 'det,eps=0.1;freq,eps=0.2,filter=even;rand,eps=0.05,at=50000'")
-		httpAddr = flag.String("http", "", "with -queries over TCP: serve live JSON status on this address (GET /status)")
-		dialTO   = flag.Duration("dial-timeout", 2*time.Second, "TCP site dial retry budget (exponential backoff with jitter)")
-		hb       = flag.Duration("hb", 0, "TCP failure detection: heartbeat interval (0 = off)")
-		hbMiss   = flag.Int("hb-miss", 3, "consecutive missed heartbeat periods before a slot is declared dead")
-		kill     = flag.String("kill", "", "crash-fault smoke (TCP single-query mode): kill site at 'STEP:SITE', e.g. 8000:1")
-		tkAfter  = flag.Duration("takeover-after", 0, "with -kill/-kill-coord: extra degraded time before the replacement comes up")
-		killCo   = flag.Int64("kill-coord", 0, "coordinator crash smoke (TCP single-query mode): kill the coordinator at this step and fail over")
-		standby  = flag.Bool("standby", false, "with -kill-coord: warm standby — restore the replacement coordinator from the pre-kill snapshot instead of booting cold")
-		snapDir  = flag.String("snapshot-dir", "", "TCP single-query mode: persist coordinator snapshots into this directory at every progress interval")
-		restDir  = flag.String("restore", "", "TCP single-query mode: boot the coordinator from the newest intact snapshot in this directory")
+		k         = flag.Int("k", 4, "number of sites")
+		eps       = flag.Float64("eps", 0.1, "relative error parameter (single-query mode)")
+		n         = flag.Int64("n", 100_000, "stream length")
+		seed      = flag.Uint64("seed", 1, "stream seed")
+		sclass    = flag.String("stream", "randwalk", "stream class: randwalk|biased|monotone|sawtooth|zipf")
+		refresh   = flag.Int64("progress", 10, "progress lines to print")
+		record    = flag.String("record", "", "tee the workload into this trace file while running")
+		replay    = flag.String("replay", "", "drive the run from a recorded trace file instead of a generator")
+		netFlag   = flag.String("net", "", "run on the async fault simulator under this model (e.g. latency=8,jitter=2,drop=0.01,retrans=3) instead of live TCP")
+		queries   = flag.String("queries", "", "multi-query mode: ';'-separated query specs, e.g. 'det,eps=0.1;freq,eps=0.2,filter=even;rand,eps=0.05,at=50000'")
+		httpAddr  = flag.String("http", "", "serve the live admin surface (/status /metrics /events /healthz /debug/pprof) on this address — works with every runtime; \":0\" picks a port and prints it")
+		eventsOut = flag.String("events-out", "", "dump the protocol event trace as JSONL to this file at exit")
+		dialTO    = flag.Duration("dial-timeout", 2*time.Second, "TCP site dial retry budget (exponential backoff with jitter)")
+		hb        = flag.Duration("hb", 0, "TCP failure detection: heartbeat interval (0 = off)")
+		hbMiss    = flag.Int("hb-miss", 3, "consecutive missed heartbeat periods before a slot is declared dead")
+		kill      = flag.String("kill", "", "crash-fault smoke (TCP single-query mode): kill site at 'STEP:SITE', e.g. 8000:1")
+		tkAfter   = flag.Duration("takeover-after", 0, "with -kill/-kill-coord: extra degraded time before the replacement comes up")
+		killCo    = flag.Int64("kill-coord", 0, "coordinator crash smoke (TCP single-query mode): kill the coordinator at this step and fail over")
+		standby   = flag.Bool("standby", false, "with -kill-coord: warm standby — restore the replacement coordinator from the pre-kill snapshot instead of booting cold")
+		snapDir   = flag.String("snapshot-dir", "", "TCP single-query mode: persist coordinator snapshots into this directory at every progress interval")
+		restDir   = flag.String("restore", "", "TCP single-query mode: boot the coordinator from the newest intact snapshot in this directory")
 	)
 	flag.Parse()
 
@@ -221,9 +226,7 @@ func main() {
 		model = &m
 	}
 
-	if *httpAddr != "" && (*queries == "" || model != nil) {
-		fatalf("-http needs -queries over the live TCP runtime (drop -net)")
-	}
+	adm := newAdmin(obsCfg{httpAddr: *httpAddr, eventsOut: *eventsOut})
 	opts := tcpOpts{dialTimeout: *dialTO, hb: *hb, hbMiss: *hbMiss}
 	if *kill != "" && (*queries != "" || model != nil) {
 		fatalf("-kill needs the single-query live TCP runtime (drop -queries and -net)")
@@ -247,19 +250,19 @@ func main() {
 			fatalf("%v", err)
 		}
 		if model != nil {
-			runQueriesAsync(st, *k, specs, every, *model, *seed)
+			runQueriesAsync(st, *k, specs, every, *model, *seed, adm)
 		} else {
-			runQueriesTCP(st, *k, specs, every, *httpAddr, opts)
+			runQueriesTCP(st, *k, specs, every, opts, adm)
 		}
 	case model != nil:
-		runAsync(st, *k, *eps, every, *model, *seed)
+		runAsync(st, *k, *eps, every, *model, *seed, adm)
 	case *kill != "":
 		step, site := parseKill(*kill, *k)
-		runTCPKill(st, *k, *eps, every, opts, step, site, *tkAfter)
+		runTCPKill(st, *k, *eps, every, opts, step, site, *tkAfter, adm)
 	case *killCo > 0:
-		runTCPKillCoord(st, *k, *eps, every, opts, *killCo, *standby, *snapDir, *restDir, *tkAfter)
+		runTCPKillCoord(st, *k, *eps, every, opts, *killCo, *standby, *snapDir, *restDir, *tkAfter, adm)
 	default:
-		runTCP(st, *k, *eps, every, opts, *snapDir, *restDir)
+		runTCP(st, *k, *eps, every, opts, *snapDir, *restDir, adm)
 	}
 
 	if tw != nil {
@@ -313,7 +316,7 @@ func parseKill(spec string, k int) (int64, int) {
 	return step, site
 }
 
-func runTCP(st stream.Stream, k int, eps float64, every int64, opts tcpOpts, snapDir, restoreDir string) {
+func runTCP(st stream.Stream, k int, eps float64, every int64, opts tcpOpts, snapDir, restoreDir string, adm *admin) {
 	coordAlgo, siteAlgos := track.NewDeterministic(k, eps)
 	var coord *dist.Coordinator
 	var err error
@@ -350,6 +353,14 @@ func runTCP(st stream.Stream, k int, eps float64, every int64, opts tcpOpts, sna
 	sites := dialSites(coord.Addr(), k, siteAlgos, opts.dialTimeout)
 	defer closeSites(sites)
 	opts.arm(coord, sites)
+	coord.SetEventSink(adm.sink())
+	adm.serve(&obs.Metrics{
+		Stats:  coord.Stats,
+		Health: func() obs.Health { return tcpHealth(coord, k) },
+	}, func() any {
+		return singleStatus{Estimate: coord.Estimate(), Stats: coord.Stats()}
+	})
+	defer adm.finish()
 
 	var f, steps int64
 	for {
@@ -388,7 +399,7 @@ func runTCP(st stream.Stream, k int, eps float64, every int64, opts tcpOpts, sna
 // buffered locally, then a warm takeover restored from a pre-kill
 // snapshot. Exits nonzero if any leg fails or the final estimate misses ε.
 func runTCPKill(st stream.Stream, k int, eps float64, every int64, opts tcpOpts,
-	killStep int64, victim int, tkAfter time.Duration) {
+	killStep int64, victim int, tkAfter time.Duration, adm *admin) {
 	if opts.hb <= 0 {
 		opts.hb = 25 * time.Millisecond // the smoke is pointless without a detector
 	}
@@ -404,12 +415,31 @@ func runTCPKill(st stream.Stream, k int, eps float64, every int64, opts tcpOpts,
 	sites := dialSites(coord.Addr(), k, siteAlgos, opts.dialTimeout)
 	defer closeSites(sites)
 	opts.arm(coord, sites)
+	coord.SetEventSink(adm.sink())
+	// Health rides the detector's verdict (thread-safe on the coordinator),
+	// not the driver loop's local phase flags.
+	adm.serve(&obs.Metrics{
+		Stats:  coord.Stats,
+		Health: func() obs.Health { return tcpHealth(coord, k) },
+	}, func() any {
+		return singleStatus{Estimate: coord.Estimate(), Stats: coord.Stats()}
+	})
+	defer adm.finish()
 
 	var f, steps int64
 	var snap []byte
 	var backlog []stream.Update
-	var verdictAt time.Time
+	var verdictAt, killedAt time.Time
 	killed, deadSeen, tookOver := false, false, false
+	// A heartbeat already in flight when the victim dies can briefly
+	// rescind a dead verdict just after we act on it (the detector
+	// re-declares once the stale beacon drains, but by then the
+	// replacement has registered against a live-looking slot and the
+	// takeover hook never fires). Trust a verdict only once the drain
+	// window after the kill has passed and the verdict still stands.
+	verdictStands := func() bool {
+		return time.Since(killedAt) >= 2*opts.hb && coord.SiteDead(victim)
+	}
 	takeover := func() {
 		_, fresh := track.NewDeterministic(k, eps)
 		if err := track.RestoreSite(fresh[victim], snap); err != nil {
@@ -454,14 +484,20 @@ func runTCPKill(st stream.Stream, k int, eps float64, every int64, opts tcpOpts,
 			}
 			sites[victim].Close()
 			killed = true
+			killedAt = time.Now()
 			fmt.Printf("t=%-10d killed site %d (snapshot: %d bytes)\n", steps, victim, len(snap))
 		}
 		if killed && !tookOver {
-			if !deadSeen && coord.SiteDead(victim) {
+			if !deadSeen && verdictStands() {
 				deadSeen = true
 				verdictAt = time.Now()
 				fmt.Printf("t=%-10d detector verdict: site %d dead (heartbeat misses: %d)\n",
 					steps, victim, coord.Stats().HeartbeatMisses)
+			}
+			if deadSeen && !coord.SiteDead(victim) {
+				// Stale in-flight beacon rescinded the verdict; wait for
+				// the detector to re-declare before splicing.
+				deadSeen = false
 			}
 			if deadSeen && time.Since(verdictAt) >= tkAfter {
 				takeover()
@@ -488,7 +524,7 @@ func runTCPKill(st stream.Stream, k int, eps float64, every int64, opts tcpOpts,
 	// A short stream can end mid-outage; the smoke still owes a takeover.
 	if !tookOver {
 		deadline := time.Now().Add(10 * time.Second)
-		for !coord.SiteDead(victim) {
+		for !verdictStands() {
 			if time.Now().After(deadline) {
 				fatalf("detector never declared site %d dead", victim)
 			}
@@ -498,6 +534,7 @@ func runTCPKill(st stream.Stream, k int, eps float64, every int64, opts tcpOpts,
 	}
 
 	barrierQuiesce(coord, sites, "final barrier")
+	adm.finish() // before the asserts, so a failing smoke still dumps its trace
 	stats := coord.Stats()
 	var hbSent int64
 	for _, s := range sites {
@@ -545,7 +582,7 @@ func writeSnapshot(coord *dist.Coordinator, algo dist.CoordAlgo, dir string, ste
 // backlogs. Exits nonzero unless exactly one coordinator takeover happened
 // and the final estimate is back inside ε.
 func runTCPKillCoord(st stream.Stream, k int, eps float64, every int64, opts tcpOpts,
-	killStep int64, standby bool, snapDir, restoreDir string, tkAfter time.Duration) {
+	killStep int64, standby bool, snapDir, restoreDir string, tkAfter time.Duration, adm *admin) {
 	if opts.hb <= 0 {
 		opts.hb = 25 * time.Millisecond // arm the detector on both incarnations
 	}
@@ -565,6 +602,7 @@ func runTCPKillCoord(st stream.Stream, k int, eps float64, every int64, opts tcp
 	sites := dialSites(coord.Addr(), k, siteAlgos, opts.dialTimeout)
 	defer func() { closeSites(sites) }()
 	opts.arm(coord, sites)
+	coord.SetEventSink(adm.sink())
 
 	// The outage spans one progress interval of buffered streaming, so the
 	// degraded window is visible in the report even on short runs.
@@ -575,6 +613,30 @@ func runTCPKillCoord(st stream.Stream, k int, eps float64, every int64, opts tcp
 	backlogged := 0
 	killed, revived := false, false
 	var killedAt time.Time
+
+	// The HTTP handlers race the driver goroutine for `coord` (rebound on
+	// revive) and the phase flags, so both sides go through the admin
+	// mutex; the driver's own unlocked reads are fine — it is the only
+	// writer.
+	snapshot := func() (*dist.Coordinator, bool) {
+		adm.lock()
+		defer adm.unlock()
+		return coord, killed && !revived
+	}
+	adm.serve(&obs.Metrics{
+		Stats: func() dist.Stats { c, _ := snapshot(); return c.Stats() },
+		Health: func() obs.Health {
+			c, down := snapshot()
+			if down {
+				return obs.Health{Detail: "coordinator down; sites buffering"}
+			}
+			return tcpHealth(c, k)
+		},
+	}, func() any {
+		c, _ := snapshot()
+		return singleStatus{Estimate: c.Estimate(), Stats: c.Stats()}
+	})
+	defer adm.finish()
 
 	revive := func() {
 		replacement, _ := track.NewDeterministic(k, eps)
@@ -601,6 +663,7 @@ func runTCPKillCoord(st stream.Stream, k int, eps float64, every int64, opts tcp
 		if err != nil {
 			fatalf("standby listen: %v", err)
 		}
+		next.SetEventSink(adm.sink())
 		next.SetFailureDetection(opts.hb, opts.hbMiss)
 		for i := range sites {
 			s, err := dist.DialNetSiteRetry(next.Addr(), i, siteAlgos[i], opts.dialTimeout)
@@ -615,8 +678,10 @@ func runTCPKillCoord(st stream.Stream, k int, eps float64, every int64, opts tcp
 				sites[i].Update(u)
 			}
 		}
+		adm.lock()
 		coord, coordAlgo = next, replacement
 		revived = true
+		adm.unlock()
 		fmt.Printf("t=%-10d coordinator takeover (%s): %d sites re-dialed %s, %d buffered updates replayed\n",
 			steps, mode, k, next.Addr(), backlogged)
 	}
@@ -646,7 +711,9 @@ func runTCPKillCoord(st stream.Stream, k int, eps float64, every int64, opts tcp
 			}
 			coord.Close()
 			closeSites(sites)
+			adm.lock()
 			killed = true
+			adm.unlock()
 			killedAt = time.Now()
 			fmt.Printf("t=%-10d killed the coordinator (snapshot: %d bytes); buffering all sites' updates\n",
 				steps, len(snap))
@@ -679,6 +746,7 @@ func runTCPKillCoord(st stream.Stream, k int, eps float64, every int64, opts tcp
 	}
 
 	barrierQuiesce(coord, sites, "final barrier")
+	adm.finish() // before the asserts, so a failing smoke still dumps its trace
 	stats := coord.Stats()
 	est := coord.Estimate()
 	fmt.Printf("\nfinal: f=%d f̂=%d rel.err=%.5f | messages=%d epoch drops=%d coordinator takeovers=%d\n",
@@ -695,9 +763,12 @@ func runTCPKillCoord(st stream.Stream, k int, eps float64, every int64, opts tcp
 	fmt.Println("coordinator kill-and-takeover smoke passed")
 }
 
-func runAsync(st stream.Stream, k int, eps float64, every int64, model dist.NetModel, seed uint64) {
+func runAsync(st stream.Stream, k int, eps float64, every int64, model dist.NetModel, seed uint64, adm *admin) {
 	coordAlgo, siteAlgos := track.NewDeterministic(k, eps)
 	sim := dist.NewAsyncSim(coordAlgo, siteAlgos, model, seed)
+	sim.Events = adm.sink()
+	serveAsyncAdmin(sim, k, adm, nil)
+	defer adm.finish()
 	fmt.Printf("async simulator: %d sites, net %s\n", k, model)
 
 	var f, steps int64
@@ -709,6 +780,9 @@ func runAsync(st stream.Stream, k int, eps float64, every int64, model dist.NetM
 		checkSite(u, k)
 		f += u.Delta
 		steps++
+		// The simulator is single-threaded; the admin mutex fences it from
+		// concurrent HTTP scrapes (a no-op without -http/-events-out).
+		adm.lock()
 		sim.Step(u)
 		if u.T%every == 0 {
 			est := sim.Estimate()
@@ -717,13 +791,17 @@ func runAsync(st stream.Stream, k int, eps float64, every int64, model dist.NetM
 				u.T, f, est, relErr(f, est), s.Total(),
 				s.AvgStaleness(), s.StalenessMax, s.Dropped)
 		}
+		adm.unlock()
 	}
+	adm.lock()
 	sim.Flush()
 	stats := sim.Stats()
+	est, now := sim.Estimate(), sim.Now()
+	adm.unlock()
 	fmt.Printf("\nfinal: f=%d f̂=%d | messages=%d (%.4f/update) wire bytes=%d\n",
-		f, sim.Estimate(), stats.Total(), perStep(stats.Total(), steps), stats.Bytes)
+		f, est, stats.Total(), perStep(stats.Total(), steps), stats.Bytes)
 	fmt.Printf("net: virtual time=%d delivered=%d dropped=%d retransmitted=%d staleness avg=%.1f max=%d\n",
-		sim.Now(), stats.Delivered(), stats.Dropped, stats.Retransmitted,
+		now, stats.Delivered(), stats.Dropped, stats.Retransmitted,
 		stats.AvgStaleness(), stats.StalenessMax)
 }
 
@@ -889,14 +967,20 @@ func barrierQuiesce(coord *dist.Coordinator, sites []*dist.NetSite, context stri
 	fmt.Fprintln(os.Stderr, "varmon: network still active after 16 barrier rounds; the report below may be a mid-cascade snapshot")
 }
 
-// liveStatus is the -http JSON document.
+// liveStatus is the /status JSON document in multi-query mode.
 type liveStatus struct {
 	Queries  []query.Status `json:"queries"`
 	Stats    dist.Stats     `json:"stats"`
 	PerQuery []dist.Stats   `json:"per_query"`
 }
 
-func runQueriesTCP(st stream.Stream, k int, specs []query.Spec, every int64, httpAddr string, opts tcpOpts) {
+// singleStatus is the /status JSON document for single-query runtimes.
+type singleStatus struct {
+	Estimate int64      `json:"estimate"`
+	Stats    dist.Stats `json:"stats"`
+}
+
+func runQueriesTCP(st stream.Stream, k int, specs []query.Spec, every int64, opts tcpOpts, adm *admin) {
 	plan, initial := newQueryPlan(specs)
 	eng, siteAlgos, err := query.New(k, initial)
 	if err != nil {
@@ -915,27 +999,21 @@ func runQueriesTCP(st stream.Stream, k int, specs []query.Spec, every int64, htt
 	defer closeSites(sites)
 	opts.arm(coord, sites)
 
-	if httpAddr != "" {
-		mux := http.NewServeMux()
-		handler := func(w http.ResponseWriter, r *http.Request) {
-			var doc liveStatus
-			coord.Inject(func(dist.Outbox) { doc.Queries = eng.Status() })
-			doc.Stats = coord.Stats()
-			doc.PerQuery = coord.ClassStats()
-			w.Header().Set("Content-Type", "application/json")
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			enc.Encode(doc)
-		}
-		mux.HandleFunc("/status", handler)
-		mux.HandleFunc("/", handler)
-		go func() {
-			if err := http.ListenAndServe(httpAddr, mux); err != nil {
-				fmt.Fprintf(os.Stderr, "varmon: http: %v\n", err)
-			}
-		}()
-		fmt.Printf("live status on http://%s/status\n", httpAddr)
-	}
+	coord.SetEventSink(adm.sink())
+	adm.serve(&obs.Metrics{
+		Stats:      coord.Stats,
+		Classes:    coord.ClassStats,
+		ClassLabel: "query",
+		Health:     func() obs.Health { return tcpHealth(coord, k) },
+	}, func() any {
+		var doc liveStatus
+		// eng is owned by the coordinator's lock; Inject serializes the read.
+		coord.Inject(func(dist.Outbox) { doc.Queries = eng.Status() })
+		doc.Stats = coord.Stats()
+		doc.PerQuery = coord.ClassStats()
+		return doc
+	})
+	defer adm.finish()
 
 	ex := newExactMonitor()
 	var steps int64
@@ -983,7 +1061,7 @@ func runQueriesTCP(st stream.Stream, k int, specs []query.Spec, every int64, htt
 	}
 }
 
-func runQueriesAsync(st stream.Stream, k int, specs []query.Spec, every int64, model dist.NetModel, seed uint64) {
+func runQueriesAsync(st stream.Stream, k int, specs []query.Spec, every int64, model dist.NetModel, seed uint64, adm *admin) {
 	plan, initial := newQueryPlan(specs)
 	eng, siteAlgos, err := query.New(k, initial)
 	if err != nil {
@@ -991,6 +1069,9 @@ func runQueriesAsync(st stream.Stream, k int, specs []query.Spec, every int64, m
 	}
 	sim := dist.NewAsyncSim(eng, siteAlgos, model, seed)
 	sim.SetClassifier(eng)
+	sim.Events = adm.sink()
+	serveAsyncAdmin(sim, k, adm, eng)
+	defer adm.finish()
 	fmt.Printf("multi-query async simulator: %d sites, %d queries, net %s\n", k, len(specs), model)
 
 	ex := newExactMonitor()
@@ -1003,6 +1084,9 @@ func runQueriesAsync(st stream.Stream, k int, specs []query.Spec, every int64, m
 		checkSite(u, k)
 		ex.apply(u)
 		steps++
+		// Simulator and engine are single-threaded; the admin mutex fences
+		// them from concurrent HTTP scrapes (a no-op without -http/-events-out).
+		adm.lock()
 		sim.Step(u)
 		plan.due(steps, func(spec query.Spec) int {
 			var qid int
@@ -1023,13 +1107,18 @@ func runQueriesAsync(st stream.Stream, k int, specs []query.Spec, every int64, m
 			line += fmt.Sprintf("  stale(avg/max)=%.1f/%d dropped=%d", s.AvgStaleness(), s.StalenessMax, s.Dropped)
 			fmt.Println(line)
 		}
+		adm.unlock()
 	}
+	adm.lock()
 	sim.Flush()
 	stats := sim.Stats()
-	plan.report(eng, ex, sim.ClassStats())
+	classStats := sim.ClassStats()
+	now := sim.Now()
+	adm.unlock()
+	plan.report(eng, ex, classStats)
 	fmt.Printf("\ntotal: %d messages (%.4f/update), %d wire bytes | virtual time=%d dropped=%d retransmitted=%d staleness avg=%.1f max=%d\n",
 		stats.Total(), perStep(stats.Total(), steps), stats.Bytes,
-		sim.Now(), stats.Dropped, stats.Retransmitted, stats.AvgStaleness(), stats.StalenessMax)
+		now, stats.Dropped, stats.Retransmitted, stats.AvgStaleness(), stats.StalenessMax)
 }
 
 func perStep(total, steps int64) float64 {

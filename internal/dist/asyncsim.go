@@ -33,6 +33,12 @@ type AsyncSim struct {
 	// to Sim's stamping under the zero model.
 	Recorder func(TranscriptEntry)
 
+	// Events, when non-nil, observes the protocol control plane (see
+	// EventKind): message-derived events on delivery plus the fault
+	// machinery — crashes, takeovers, detector verdicts, epoch drops.
+	// Event.Now is the virtual tick.
+	Events EventSink
+
 	coord CoordAlgo
 	sites []SiteAlgo
 	model NetModel
@@ -631,6 +637,10 @@ func (s *AsyncSim) process(e *event) {
 			cs.Dropped++
 			cs.EpochDrops++
 		}
+		if s.Events != nil {
+			s.Events(Event{Kind: EvEpochDrop, T: s.curT, Now: s.now,
+				Site: end, To: e.to, Item: e.msg.Item, A: e.msg.A, B: e.msg.B})
+		}
 		return
 	}
 
@@ -653,6 +663,11 @@ func (s *AsyncSim) process(e *event) {
 			if s.classifier != nil {
 				s.classSlotOf(e).Dropped++
 			}
+			if s.Events != nil {
+				s.Events(Event{Kind: EvDrop, T: s.curT, Now: s.now,
+					Site: s.siteEnd(e.from, e.to), To: e.to,
+					Item: e.msg.Item, A: e.msg.A, B: e.msg.B})
+			}
 		}
 		return
 	}
@@ -673,6 +688,9 @@ func (s *AsyncSim) process(e *event) {
 	}
 	if s.Recorder != nil {
 		s.Recorder(TranscriptEntry{T: s.curT, To: e.to, Msg: e.msg})
+	}
+	if s.Events != nil {
+		emitMsg(s.Events, s.curT, s.now, e.to, &e.msg)
 	}
 	if e.to == CoordID {
 		s.coord.OnMessage(e.msg, s.coordOut)

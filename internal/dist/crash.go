@@ -122,6 +122,10 @@ func (s *AsyncSim) processCrash(e *event) {
 	}
 	s.crashed[site] = true
 	s.epoch[site]++
+	if s.Events != nil {
+		s.Events(Event{Kind: EvSiteCrash, T: s.curT, Now: s.now, Site: e.to,
+			A: int64(s.epoch[site])})
+	}
 }
 
 func (s *AsyncSim) processTakeover(e *event) {
@@ -143,6 +147,10 @@ func (s *AsyncSim) processTakeover(e *event) {
 		s.batchSites[site] = nil
 	}
 	s.stats.Takeovers++
+	if s.Events != nil {
+		s.Events(Event{Kind: EvTakeover, T: s.curT, Now: s.now, Site: e.to,
+			A: int64(s.epoch[site]), B: int64(len(s.backlog[site]))})
+	}
 	// Control-plane registration first (on TCP the re-dial handshake
 	// precedes all frames), then the replacement's own announcement, then
 	// the replay of the durable local queue.
@@ -169,6 +177,10 @@ func (s *AsyncSim) processCoordCrash(e *event) {
 	}
 	s.coordCrashed = true
 	s.coordEpoch++
+	if s.Events != nil {
+		s.Events(Event{Kind: EvCoordCrash, T: s.curT, Now: s.now,
+			Site: CoordID, A: int64(s.coordEpoch)})
+	}
 }
 
 func (s *AsyncSim) processCoordTakeover(e *event) {
@@ -181,6 +193,10 @@ func (s *AsyncSim) processCoordTakeover(e *event) {
 	s.coordEpoch++
 	s.coord = algo
 	s.stats.CoordTakeovers++
+	if s.Events != nil {
+		s.Events(Event{Kind: EvCoordTakeover, T: s.curT, Now: s.now,
+			Site: CoordID, A: int64(s.coordEpoch)})
+	}
 	// The standby's detector starts from a clean slate: every site gets a
 	// grace period as if it had just beaconed (its beacons during the
 	// outage went nowhere — that is the old coordinator's loss, not the
@@ -233,6 +249,9 @@ func (s *AsyncSim) processHbArrive(e *event) {
 		// leak the site's reply content until a takeover that never comes.
 		s.suspected[site] = false
 		s.hbRun[site] = 0
+		if s.Events != nil {
+			s.Events(Event{Kind: EvSiteAlive, T: s.curT, Now: s.now, Site: e.to})
+		}
 		if h, ok := s.coord.(CoordRecoverHandler); ok {
 			h.OnSiteAlive(site, s.coordOut)
 		}
@@ -265,8 +284,16 @@ func (s *AsyncSim) processHbCheck(e *event) {
 		if e.at-s.lastSeen[i] > slack {
 			s.hbRun[i]++
 			s.stats.HeartbeatMisses++
+			if s.Events != nil {
+				s.Events(Event{Kind: EvHeartbeatMiss, T: s.curT, Now: s.now,
+					Site: int32(i), A: int64(s.hbRun[i])})
+			}
 			if s.hbRun[i] >= miss {
 				s.suspected[i] = true
+				if s.Events != nil {
+					s.Events(Event{Kind: EvSiteDead, T: s.curT, Now: s.now,
+						Site: int32(i)})
+				}
 				if h, ok := s.coord.(CoordFailureHandler); ok {
 					h.OnSiteDead(i, s.coordOut)
 				}

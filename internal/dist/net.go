@@ -136,6 +136,7 @@ type Coordinator struct {
 	classifier   Classifier
 	classStats   []Stats
 	classScratch Msg // see Sim.classify; guarded by mu like the tables
+	events       EventSink
 	err          error
 	closed       bool
 
@@ -156,6 +157,15 @@ type Coordinator struct {
 	// before beaconing and re-dials is the same logical takeover, so the
 	// second dial must not count again (see Stats.Takeovers).
 	seenSinceTk []bool
+	// lost[i] records that slot i's registered connection went away (read
+	// or write failure) while detection was armed. A re-registration into a
+	// lost slot is a takeover splice even when the dead verdict was
+	// rescinded in between: a beacon that was already in flight when the
+	// site died can briefly flip the verdict back, but it cannot revive the
+	// vanished connection, so the next hello is still a replacement and the
+	// takeover hook must run (and the count move) exactly as if the verdict
+	// had stood.
+	lost []bool
 
 	// Standby mode (ListenCoordinatorStandby): the coordinator is a
 	// replacement for a dead predecessor, and each site's first registration
@@ -264,7 +274,7 @@ func (c *Coordinator) serve(conn net.Conn) {
 	c.conns[id] = w
 	if c.fdStop != nil {
 		c.lastSeen[id] = time.Now()
-		if c.dead[id] {
+		if c.dead[id] || c.lost[id] {
 			// A replacement process took over the dead slot. Clear the
 			// death verdict and run the control-plane hook before any of
 			// the new connection's frames are read, so the hook's output
@@ -274,11 +284,13 @@ func (c *Coordinator) serve(conn net.Conn) {
 			// a replacement whose first connection died before it ever
 			// beaconed re-dials as the same logical takeover.
 			c.dead[id] = false
+			c.lost[id] = false
 			c.hbRun[id] = 0
 			if c.seenSinceTk[id] {
 				c.stats.Takeovers++
 			}
 			c.seenSinceTk[id] = false
+			c.traceLocked(EvTakeover, int32(id), 0, 0)
 			if h, ok := c.algo.(CoordTakeoverHandler); ok {
 				h.OnSiteTakeover(id, coordOutbox{c})
 			}
@@ -288,6 +300,7 @@ func (c *Coordinator) serve(conn net.Conn) {
 		// Standby mode: the coordinator-side takeover announcement is the
 		// first frame a re-connecting site receives.
 		c.announced[id] = true
+		c.traceLocked(EvCoordTakeover, int32(id), c.standbyEpoch, 0)
 		if t, ok := c.algo.(CoordTakeover); ok {
 			t.OnCoordTakeover(id, c.standbyEpoch, coordOutbox{c})
 		}
@@ -296,7 +309,24 @@ func (c *Coordinator) serve(conn net.Conn) {
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
-		w.loop(c.fail)
+		w.loop(func(err error) {
+			// A failed write to a site is the same event as the read-side
+			// disconnect below: under failure detection it is the fault
+			// being tolerated (the detector decides whether the site is
+			// dead), not a transport error. Unregister the slot so later
+			// frames count as Dropped instead of queueing to a dead socket.
+			c.mu.Lock()
+			if c.fdStop == nil {
+				c.failLocked(err)
+			}
+			if c.conns[id] == w {
+				c.conns[id] = nil
+				if c.fdStop != nil {
+					c.lost[id] = true
+				}
+			}
+			c.mu.Unlock()
+		})
 	}()
 
 	for {
@@ -315,6 +345,9 @@ func (c *Coordinator) serve(conn net.Conn) {
 			}
 			if c.conns[id] == w {
 				c.conns[id] = nil
+				if c.fdStop != nil {
+					c.lost[id] = true
+				}
 			}
 			c.mu.Unlock()
 			w.close(time.Now().Add(closeDrainTimeout))
@@ -341,6 +374,7 @@ func (c *Coordinator) serve(conn net.Conn) {
 					// re-dial takeover path above, never through here.
 					c.dead[id] = false
 					c.hbRun[id] = 0
+					c.traceLocked(EvSiteAlive, int32(id), 0, 0)
 					if h, ok := c.algo.(CoordRecoverHandler); ok {
 						h.OnSiteAlive(id, coordOutbox{c})
 					}
@@ -360,6 +394,7 @@ func (c *Coordinator) serve(conn net.Conn) {
 			if c.classifier != nil {
 				c.classify(&m, CoordID)
 			}
+			c.traceMsgLocked(CoordID, &m)
 			c.algo.OnMessage(m, coordOutbox{c})
 			c.mu.Unlock()
 		}
@@ -397,6 +432,11 @@ func (c *Coordinator) writeLocked(site int, m Msg) {
 				c.classScratch = m
 				classSlot(&c.classStats, c.classifier.Class(&c.classScratch)).Dropped++
 			}
+			if c.events != nil {
+				c.events(Event{Kind: EvDrop, Now: time.Now().UnixNano(),
+					Site: int32(site), To: int32(site),
+					Item: m.Item, A: m.A, B: m.B})
+			}
 			return
 		}
 		c.failLocked(fmt.Errorf("dist: message to unconnected site %d", site))
@@ -407,6 +447,7 @@ func (c *Coordinator) writeLocked(site int, m Msg) {
 	if c.classifier != nil {
 		c.classify(&m, int32(site))
 	}
+	c.traceMsgLocked(int32(site), &m)
 }
 
 // classify accounts one message in its class's counters; callers hold
@@ -415,6 +456,39 @@ func (c *Coordinator) writeLocked(site int, m Msg) {
 func (c *Coordinator) classify(m *Msg, to int32) {
 	c.classScratch = *m
 	classSlot(&c.classStats, c.classifier.Class(&c.classScratch)).add(&c.classScratch, to)
+}
+
+// SetEventSink installs a protocol event tracer covering both directions
+// of the coordinator's traffic plus its liveness machinery (see
+// EventKind). Event.Now is wall nanoseconds — the TCP transport is the
+// one runtime that is not deterministic anyway — and Event.T is 0: the
+// coordinator does not see stream steps. The sink runs under the
+// coordinator mutex: it must not block or call back in.
+func (c *Coordinator) SetEventSink(sink EventSink) {
+	c.mu.Lock()
+	c.events = sink
+	c.mu.Unlock()
+}
+
+// traceMsgLocked traces one control-plane message (either direction);
+// callers hold c.mu. Data-plane kinds return without emitting.
+func (c *Coordinator) traceMsgLocked(to int32, m *Msg) {
+	if c.events == nil {
+		return
+	}
+	if k := msgEventKind(m); k != 0 {
+		c.events(Event{Kind: k, Now: time.Now().UnixNano(), Site: m.Site,
+			To: to, Item: m.Item, A: m.A, B: m.B})
+	}
+}
+
+// traceLocked emits one liveness/takeover event; callers hold c.mu.
+func (c *Coordinator) traceLocked(kind EventKind, site int32, a, b int64) {
+	if c.events == nil {
+		return
+	}
+	c.events(Event{Kind: kind, Now: time.Now().UnixNano(), Site: site,
+		To: CoordID, A: a, B: b})
 }
 
 // coordOutbox emits coordinator messages; methods run with c.mu held,
@@ -501,6 +575,7 @@ func (c *Coordinator) SetFailureDetection(every time.Duration, miss int) {
 	}
 	c.hbRun = make([]int, c.k)
 	c.dead = make([]bool, c.k)
+	c.lost = make([]bool, c.k)
 	c.seenSinceTk = make([]bool, c.k)
 	for i := range c.seenSinceTk {
 		c.seenSinceTk[i] = true
@@ -534,8 +609,10 @@ func (c *Coordinator) checkLoop() {
 				if now.Sub(c.lastSeen[i]) > slack {
 					c.hbRun[i]++
 					c.stats.HeartbeatMisses++
+					c.traceLocked(EvHeartbeatMiss, int32(i), int64(c.hbRun[i]), 0)
 					if c.hbRun[i] >= c.fdMiss {
 						c.dead[i] = true
+						c.traceLocked(EvSiteDead, int32(i), 0, 0)
 						if h, ok := c.algo.(CoordFailureHandler); ok {
 							h.OnSiteDead(i, coordOutbox{c})
 						}

@@ -1,6 +1,7 @@
 package dist_test
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -139,6 +140,170 @@ func TestNetCoordCrashStandbyTakeover(t *testing.T) {
 	if float64(diff) > bound+1e-9 {
 		t.Fatalf("estimate %d vs exact %d: |err|=%d exceeds ε·f=%.1f after standby takeover",
 			est, f, diff, bound)
+	}
+}
+
+// TestNetStandbyTakeoverSpliceOnce is the looped regression test for the
+// standby flake varmon's -kill-coord smoke used to trip (~4 runs in 5 at
+// hb=10ms): with the detector armed on the standby before the sites
+// re-dial, a site whose coordinator-takeover handshake races the first
+// collection answers the state request twice, and its pre-adoption drift
+// report — an absolute drift against the OLD block base — could land
+// after finishBlock had already reset the coordinator's mirror,
+// permanently inflating the estimate. Drift reports now carry the
+// sender's block sequence and the coordinator drops stale ones (see
+// stampOutbox in internal/track); the event trace asserts the splice
+// itself still happens exactly once per site.
+func TestNetStandbyTakeoverSpliceOnce(t *testing.T) {
+	const k, n = 4, 12_000
+	const eps = 0.1
+	const hb = 10 * time.Millisecond
+	iters := 6
+	if testing.Short() {
+		iters = 2
+	}
+
+	for it := 0; it < iters; it++ {
+		coordAlgo, siteAlgos := track.NewDeterministic(k, eps)
+		coord, err := dist.ListenCoordinator("127.0.0.1:0", k, coordAlgo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord.SetFailureDetection(hb, 3)
+		sites := make([]*dist.NetSite, k)
+		for i := 0; i < k; i++ {
+			s, err := dist.DialNetSiteRetry(coord.Addr(), i, siteAlgos[i], 2*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.StartHeartbeats(hb)
+			sites[i] = s
+		}
+
+		ups := stream.Collect(stream.NewAssign(
+			stream.BiasedWalk(n, 0.3, uint64(100+it)), stream.NewRoundRobin(k)))
+		var f int64
+		for _, u := range ups[:n/4] {
+			f += u.Delta
+			sites[u.Site].Update(u)
+		}
+		// Checkpoint here — then keep streaming before the kill. The
+		// restored standby is therefore STALE relative to the sites'
+		// books, exactly like varmon's periodic -snapshot-dir checkpoints:
+		// the takeover handshake has to resync blocks the coordinator
+		// never saw, which is the window the pre-fix drift reports raced.
+		for i := 0; i < k; i++ {
+			if err := sites[i].Barrier(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var snap []byte
+		coord.Inject(func(dist.Outbox) {
+			snap, err = track.SnapshotCoord(coordAlgo)
+		})
+		if err != nil {
+			t.Fatalf("snapshot: %v", err)
+		}
+		for _, u := range ups[n/4 : n/3] {
+			f += u.Delta
+			sites[u.Site].Update(u)
+		}
+		for i := 0; i < k; i++ {
+			if err := sites[i].Barrier(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		coord.Close()
+		for i := 0; i < k; i++ {
+			sites[i].Close()
+		}
+
+		backlog := make([][]stream.Update, k)
+		for _, u := range ups[n/3 : 2*n/3] {
+			f += u.Delta
+			backlog[u.Site] = append(backlog[u.Site], u)
+		}
+
+		// The standby comes up exactly the way varmon's smoke does: the
+		// detector armed BEFORE any site re-dials — so slots can be
+		// declared dead and rejoin mid-handshake — and the backlogs
+		// replayed only after every site is back.
+		replacement, _ := track.NewDeterministic(k, eps)
+		if err := track.RestoreCoord(replacement, snap); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		standby, err := dist.ListenCoordinatorStandby("127.0.0.1:0", k, replacement, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var evMu sync.Mutex
+		splices := make(map[int32]int) // site -> coord_takeover announces seen
+		standby.SetEventSink(func(e dist.Event) {
+			if e.Kind == dist.EvCoordTakeover {
+				evMu.Lock()
+				splices[e.Site]++
+				evMu.Unlock()
+			}
+		})
+		standby.SetFailureDetection(hb, 3)
+		for i := 0; i < k; i++ {
+			s, err := dist.DialNetSiteRetry(standby.Addr(), i, siteAlgos[i], 2*time.Second)
+			if err != nil {
+				t.Fatalf("iter %d: re-dial site %d: %v", it, i, err)
+			}
+			s.StartHeartbeats(hb)
+			sites[i] = s
+		}
+		for i, b := range backlog {
+			for _, u := range b {
+				sites[i].Update(u)
+			}
+		}
+
+		for _, u := range ups[2*n/3:] {
+			f += u.Delta
+			sites[u.Site].Update(u)
+		}
+
+		prev := dist.Stats{}
+		for round := 0; round < 20; round++ {
+			for i := 0; i < k; i++ {
+				if err := sites[i].Barrier(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st := standby.Stats()
+			if st.WithoutLiveness() == prev.WithoutLiveness() {
+				break
+			}
+			prev = st
+		}
+
+		stats := standby.Stats()
+		if stats.CoordTakeovers != 1 {
+			t.Fatalf("iter %d: coordinator takeovers = %d, want 1", it, stats.CoordTakeovers)
+		}
+		evMu.Lock()
+		for i := 0; i < k; i++ {
+			if got := splices[int32(i)]; got != 1 {
+				t.Errorf("iter %d: coord_takeover announces to site %d = %d, want exactly 1", it, i, got)
+			}
+		}
+		evMu.Unlock()
+		if err := standby.Err(); err != nil {
+			t.Fatalf("iter %d: transport error on the standby: %v", it, err)
+		}
+		est := standby.Estimate()
+		diff := absDiff64(f, est)
+		bound := eps * float64(absDiff64(f, 0))
+		if float64(diff) > bound+1e-9 {
+			t.Fatalf("iter %d: estimate %d vs exact %d: |err|=%d exceeds ε·f=%.1f after standby takeover",
+				it, est, f, diff, bound)
+		}
+		for i := 0; i < k; i++ {
+			sites[i].Close()
+		}
+		standby.Close()
 	}
 }
 

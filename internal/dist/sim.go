@@ -26,6 +26,11 @@ type Sim struct {
 	// timesteps are nondecreasing across the transcript.
 	Recorder func(TranscriptEntry)
 
+	// Events, when non-nil, observes the protocol control plane (see
+	// EventKind). On Sim, Event.Now equals Event.T: the synchronous model
+	// has no clock beyond the stream step.
+	Events EventSink
+
 	coord CoordAlgo
 	sites []SiteAlgo
 	stats Stats
@@ -296,6 +301,11 @@ func (s *Sim) Estimate() int64 { return s.coord.Estimate() }
 // Stats returns the communication counters so far.
 func (s *Sim) Stats() Stats { return s.stats }
 
+// QueueLen returns the number of queued undelivered messages — always 0
+// between Steps (each Step drains to quiescence); nonzero only when read
+// from inside a handler or hook. Exposed as an observability gauge.
+func (s *Sim) QueueLen() int { return s.queue.n }
+
 // SetClassifier installs a per-class Stats attribution (see Classifier).
 // Install it before driving updates so no message goes unattributed.
 func (s *Sim) SetClassifier(c Classifier) { s.classifier = c }
@@ -336,6 +346,9 @@ func (s *Sim) deliver(e *envelope) {
 	}
 	if s.Recorder != nil {
 		s.Recorder(TranscriptEntry{T: s.t, To: e.to, Msg: e.msg})
+	}
+	if s.Events != nil {
+		emitMsg(s.Events, s.t, s.t, e.to, &e.msg)
 	}
 	if e.to == CoordID {
 		s.coord.OnMessage(e.msg, s.coordOut)

@@ -82,6 +82,28 @@ func (s Stats) WithoutLiveness() Stats {
 	return s
 }
 
+// Merge folds o into s the way per-class tables aggregate: every counter
+// sums except StalenessMax, which folds as a maximum. Merging every class
+// of a per-class table therefore reproduces the aggregate exactly.
+func (s *Stats) Merge(o Stats) {
+	s.SiteToCoord += o.SiteToCoord
+	s.CoordToSite += o.CoordToSite
+	s.Bytes += o.Bytes
+	s.CompactBits += o.CompactBits
+	s.Dropped += o.Dropped
+	s.Retransmitted += o.Retransmitted
+	s.StalenessSum += o.StalenessSum
+	if o.StalenessMax > s.StalenessMax {
+		s.StalenessMax = o.StalenessMax
+	}
+	s.HeartbeatsSent += o.HeartbeatsSent
+	s.HeartbeatsRecv += o.HeartbeatsRecv
+	s.HeartbeatMisses += o.HeartbeatMisses
+	s.Takeovers += o.Takeovers
+	s.CoordTakeovers += o.CoordTakeovers
+	s.EpochDrops += o.EpochDrops
+}
+
 // Total returns the message count over both directions.
 func (s Stats) Total() int64 { return s.SiteToCoord + s.CoordToSite }
 

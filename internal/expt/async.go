@@ -153,6 +153,7 @@ func E25AsyncStaleness(cfg Config) *Table {
 			coord, sites := b.Build(k, eps, cfg.Seed+99)
 			st := stream.NewAssign(stream.BiasedWalk(n, 0.2, cfg.Seed), stream.NewRoundRobin(k))
 			res := runAsync(st, coord, sites, eps, m, cfg.Seed+7, 0, 0, 0)
+			t.AddStats(res.Stats)
 			t.AddRow(b.Name, d(m.Latency), d(res.Steps), d(res.Stats.Total()),
 				f1(res.Stats.AvgStaleness()), d(res.Stats.StalenessMax),
 				f4(res.MaxRelErrSettled), pct(float64(res.Violations)/float64(res.Steps)))
@@ -196,6 +197,7 @@ func E26AsyncDrops(cfg Config) *Table {
 			coord, sites := b.Build(k, eps, cfg.Seed+99)
 			st := stream.NewAssign(stream.BiasedWalk(n, 0.2, cfg.Seed), stream.NewRoundRobin(k))
 			res := runAsync(st, coord, sites, eps, m, cfg.Seed+11, 0, 0, 0)
+			t.AddStats(res.Stats)
 			t.AddRow(b.Name, g3(m.Drop), di(m.Retrans), d(res.Stats.Delivered()),
 				d(res.Stats.Dropped), d(res.Stats.Retransmitted),
 				f4(res.MaxRelErrSettled), pct(float64(res.Violations)/float64(res.Steps)))
@@ -245,6 +247,7 @@ func E27AsyncChurn(cfg Config) *Table {
 					stream.NewSkewed(k, 2.0, cfg.Seed+5))
 				res := runAsync(st, coord, sites, eps, m, cfg.Seed+13,
 					0, downAt, downAt+outage*m.Gap())
+				t.AddStats(res.Stats)
 				rec := "never"
 				if res.RecoverTicks >= 0 {
 					rec = fmt.Sprintf("%d", res.RecoverTicks)

@@ -290,6 +290,7 @@ func E32ChaosSchedules(cfg Config) *Table {
 	for s := 0; s < seeds; s++ {
 		seed := cfg.Seed + uint64(s)*101
 		faults, out := chaosRun(seed, k, n, segments)
+		t.AddStats(out.stats)
 		verdict := "ok"
 		if len(out.violations) > 0 {
 			verdict = out.violations[0]

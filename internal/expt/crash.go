@@ -30,6 +30,7 @@ type e31Run struct {
 	tailSteps    int64
 	dropped      int64
 	takeovers    int64
+	stats        dist.Stats
 	finalOK0     bool // det query inside ε at the end
 	finalOK1     bool // rand query inside ε at the end
 }
@@ -127,6 +128,7 @@ func e31Drive(ups []stream.Update, k int, eps float64, mode string,
 	}
 	sim.Flush()
 	st := sim.Stats()
+	res.stats = st
 	res.dropped, res.takeovers = st.Dropped, st.Takeovers
 	if detectN > 0 {
 		res.detectAvg = float64(detectSum) / float64(detectN)
@@ -167,6 +169,7 @@ func E31CrashTakeover(cfg Config) *Table {
 		ups := stream.Collect(stream.NewAssign(w.gen(), stream.NewSkewed(k, 1.5, cfg.Seed+5)))
 		for _, mode := range []string{"none", "warm", "naive"} {
 			r := e31Drive(ups, k, eps, mode, model, cfg.Seed+17)
+			t.AddStats(r.stats)
 			detect, settle, blk, msgs := "-", d(r.settleTicks), d(r.settleBlocks), "0/0"
 			if mode != "none" {
 				detect = f1(r.detectAvg)

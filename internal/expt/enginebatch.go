@@ -98,6 +98,8 @@ func E30EngineBatch(cfg Config) *Table {
 		for _, a := range assigns {
 			stepEntries, stepEnd := drive(q, a.mk, false)
 			batchEntries, batchEnd := drive(q, a.mk, true)
+			t.AddStats(stepEnd.stats)
+			t.AddStats(batchEnd.stats)
 			identical := stepEnd.stats == batchEnd.stats &&
 				reflect.DeepEqual(stepEnd.class, batchEnd.class) &&
 				reflect.DeepEqual(stepEnd.ests, batchEnd.ests)

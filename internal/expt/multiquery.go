@@ -84,6 +84,8 @@ func E28MuxAmortization(cfg Config) *Table {
 			}
 		}
 
+		t.AddStats(muxStats)
+		t.AddStats(sep)
 		overhead := float64(muxStats.CompactBits-sep.CompactBits) / float64(sep.CompactBits)
 		t.AddRow(di(q), d(muxStats.Total()), d(sep.Total()),
 			d(muxStats.Bytes), d(sep.Bytes),
@@ -199,6 +201,7 @@ func E29DynamicAttach(cfg Config) *Table {
 				}
 			}
 			sim.Flush()
+			t.AddStats(sim.Stats())
 			est, _ := eng.EstimateQuery(qid)
 			finalOK := float64(absDiff(f, est)) <= eps*absF(f)+1e-9
 			cs := sim.ClassStats()

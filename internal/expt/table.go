@@ -21,6 +21,13 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+
+	// Stats, when non-nil, is the transport-level communication total
+	// across every simulation the experiment ran — the per-experiment
+	// snapshot varbench's -metrics-out renders as one Prometheus
+	// exposition. Experiments opt in by calling AddStats once per run;
+	// tables that never do stay out of the dump.
+	Stats *dist.Stats
 }
 
 // NewTable builds an empty table with the given identity and columns.
@@ -34,6 +41,15 @@ func (t *Table) AddRow(cells ...string) {
 		panic(fmt.Sprintf("expt: row has %d cells, table %s has %d columns", len(cells), t.ID, len(t.Columns)))
 	}
 	t.Rows = append(t.Rows, cells)
+}
+
+// AddStats folds one run's transport stats into the table's snapshot
+// (counters sum, StalenessMax as a maximum — dist.Stats.Merge).
+func (t *Table) AddStats(s dist.Stats) {
+	if t.Stats == nil {
+		t.Stats = &dist.Stats{}
+	}
+	t.Stats.Merge(s)
 }
 
 // AddNote appends a free-text footnote.

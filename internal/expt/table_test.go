@@ -1,0 +1,42 @@
+package expt
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// TestTableAddStats pins the per-experiment snapshot fold: counters sum
+// across runs, StalenessMax folds as a maximum, and a table that never
+// called AddStats keeps a nil snapshot (it stays out of -metrics-out).
+func TestTableAddStats(t *testing.T) {
+	tb := NewTable("EXX", "test")
+	if tb.Stats != nil {
+		t.Fatal("fresh table already has a stats snapshot")
+	}
+	tb.AddStats(dist.Stats{SiteToCoord: 10, Bytes: 200, StalenessMax: 7, Takeovers: 1})
+	tb.AddStats(dist.Stats{SiteToCoord: 5, Bytes: 100, StalenessMax: 3, Dropped: 2})
+	want := dist.Stats{SiteToCoord: 15, Bytes: 300, StalenessMax: 7, Takeovers: 1, Dropped: 2}
+	if *tb.Stats != want {
+		t.Fatalf("snapshot = %+v, want %+v", *tb.Stats, want)
+	}
+}
+
+// TestStatsMergeMatchesClassSum ties Merge to the per-class invariant:
+// merging every class of a per-class table must reproduce the aggregate
+// that the runtimes maintain (see TestPerQueryStatsSumProperty).
+func TestStatsMergeMatchesClassSum(t *testing.T) {
+	classes := []dist.Stats{
+		{SiteToCoord: 3, CoordToSite: 1, Bytes: 88, CompactBits: 40, StalenessSum: 5, StalenessMax: 4},
+		{SiteToCoord: 7, CoordToSite: 2, Bytes: 198, CompactBits: 90, StalenessSum: 9, StalenessMax: 2, Dropped: 1},
+	}
+	var merged dist.Stats
+	for _, c := range classes {
+		merged.Merge(c)
+	}
+	want := dist.Stats{SiteToCoord: 10, CoordToSite: 3, Bytes: 286, CompactBits: 130,
+		StalenessSum: 14, StalenessMax: 4, Dropped: 1}
+	if merged != want {
+		t.Fatalf("merged = %+v, want %+v", merged, want)
+	}
+}

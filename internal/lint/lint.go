@@ -83,7 +83,7 @@ func DefaultConfig() *Config {
 		},
 		EmitMethods:     []string{"Send", "SendTo", "Broadcast", "AppendSnapshot"},
 		OutboxTypeNames: []string{"Outbox"},
-		RecorderNames:   []string{"Recorder"},
+		RecorderNames:   []string{"Recorder", "Events"},
 	}
 }
 

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Admin is the live admin surface one varmon runtime exposes over HTTP:
+//
+//	/status       JSON status payload (also served at /)
+//	/metrics      Prometheus text exposition (404 when Metrics is nil)
+//	/events?n=K   newest K traced events as JSONL (404 when Ring is nil)
+//	/healthz      200 "ok" / 503 with detail, from Metrics.Health
+//	/debug/pprof  the standard pprof handlers
+type Admin struct {
+	// Status returns the JSON payload for /status and /. Optional.
+	Status func() any
+	// Metrics serves /metrics and decides /healthz. Optional.
+	Metrics *Metrics
+	// Ring serves /events. Optional.
+	Ring *Ring
+}
+
+// NewHandler builds the admin mux. pprof is mounted explicitly so the
+// surface works on any mux, not just http.DefaultServeMux.
+func NewHandler(a *Admin) http.Handler {
+	mux := http.NewServeMux()
+	status := func(w http.ResponseWriter, r *http.Request) {
+		if a.Status == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(a.Status())
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		status(w, r)
+	})
+	mux.HandleFunc("/status", status)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if a.Metrics == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		a.Metrics.Render(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		if a.Ring == nil {
+			http.NotFound(w, r)
+			return
+		}
+		n := -1
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		WriteJSONL(w, a.Ring.Last(n))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := Health{OK: true}
+		if a.Metrics != nil && a.Metrics.Health != nil {
+			h = a.Metrics.Health()
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if h.OK {
+			w.Write([]byte("ok\n"))
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("degraded: " + h.Detail + "\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server runs an admin handler on its own listener. Binding ":0" picks an
+// ephemeral port — Addr reports the one chosen — and Close shuts the
+// server down gracefully, so tests and smokes never leak a listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// closeTimeout bounds graceful shutdown: in-flight scrapes get this long
+// to finish before connections are cut.
+const closeTimeout = 2 * time.Second
+
+// Serve starts an admin server on addr (host:port; use ":0" for an
+// ephemeral port).
+func Serve(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: h}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the address the server is listening on, with the real
+// port even when started as ":0".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the http:// base URL of the server.
+func (s *Server) URL() string {
+	host, port, err := net.SplitHostPort(s.Addr())
+	if err != nil {
+		return "http://" + s.Addr()
+	}
+	if ip := net.ParseIP(host); ip == nil || ip.IsUnspecified() {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
+// Close shuts the server down gracefully: the listener closes
+// immediately, in-flight requests get closeTimeout to finish.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), closeTimeout)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

@@ -1,0 +1,158 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/obs"
+)
+
+// TestServerEndpoints drives the full admin surface over a real listener:
+// every route, the ephemeral-port contract, and a graceful Close that
+// frees the listener (no leak for the next bind).
+func TestServerEndpoints(t *testing.T) {
+	ring := obs.NewRing(8)
+	for i := 0; i < 5; i++ {
+		ring.Emit(dist.Event{Kind: dist.EvBlock, T: int64(i)})
+	}
+	healthy := true
+	m := &obs.Metrics{
+		Stats:  func() dist.Stats { return dist.Stats{SiteToCoord: 7} },
+		Health: func() obs.Health { return obs.Health{OK: healthy, Detail: "site 1 dead"} },
+		Ring:   ring,
+	}
+	srv, err := obs.Serve("127.0.0.1:0", obs.NewHandler(&obs.Admin{
+		Status:  func() any { return map[string]int{"estimate": 42} },
+		Metrics: m,
+		Ring:    ring,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(srv.Addr(), ":") || strings.HasSuffix(srv.Addr(), ":0") {
+		t.Fatalf("Addr %q did not resolve the ephemeral port", srv.Addr())
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/status"); code != 200 || !strings.Contains(body, `"estimate":42`) {
+		t.Fatalf("/status = %d %q", code, body)
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(body, `"estimate":42`) {
+		t.Fatalf("/ = %d %q", code, body)
+	}
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	samples, err := obs.ParseText(body)
+	if err != nil {
+		t.Fatalf("/metrics is not parseable exposition: %v", err)
+	}
+	found := false
+	for _, s := range samples {
+		if s.Name == "varmon_messages_site_to_coord_total" && s.Value == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/metrics missing the aggregate counter:\n%s", body)
+	}
+
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("healthy /healthz = %d %q", code, body)
+	}
+	healthy = false
+	if code, body := get("/healthz"); code != 503 || !strings.Contains(body, "site 1 dead") {
+		t.Fatalf("degraded /healthz = %d %q", code, body)
+	}
+
+	if code, body := get("/events?n=2"); code != 200 {
+		t.Fatalf("/events = %d", code)
+	} else {
+		lines := strings.Split(strings.TrimSpace(body), "\n")
+		if len(lines) != 2 {
+			t.Fatalf("/events?n=2 returned %d lines: %q", len(lines), body)
+		}
+		var ev struct {
+			Kind string `json:"kind"`
+			T    int64  `json:"t"`
+		}
+		if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+			t.Fatalf("/events line is not JSON: %v", err)
+		}
+		if ev.Kind != "block" || ev.T != 4 {
+			t.Fatalf("/events newest = %+v, want the last emitted event", ev)
+		}
+	}
+	if code, _ := get("/events?n=-3"); code != 400 {
+		t.Fatalf("/events with bad n = %d, want 400", code)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The listener must be gone: a fresh bind of the same port succeeds.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port still held after Close: %v", err)
+	}
+	ln.Close()
+	if _, err := (&http.Client{Timeout: 200 * time.Millisecond}).Get(srv.URL() + "/healthz"); err == nil {
+		t.Fatal("server still answering after Close")
+	}
+}
+
+// TestHandlerOptionalPieces pins the 404 contract when a runtime wires
+// only part of the surface.
+func TestHandlerOptionalPieces(t *testing.T) {
+	srv, err := obs.Serve("127.0.0.1:0", obs.NewHandler(&obs.Admin{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/status", "/metrics", "/events"} {
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 404 {
+			t.Fatalf("%s with nothing wired = %d, want 404", path, resp.StatusCode)
+		}
+	}
+	// /healthz defaults to OK when no Metrics.Health exists.
+	resp, err := http.Get(srv.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/healthz with no health callback = %d, want 200", resp.StatusCode)
+	}
+}

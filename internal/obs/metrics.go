@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"runtime"
+	"strconv"
+
+	"repro/internal/dist"
+)
+
+// Health is a runtime liveness verdict for /healthz and the
+// varmon_healthy gauge.
+type Health struct {
+	// OK means the runtime is fully live: no site currently presumed
+	// dead, no takeover in progress.
+	OK bool
+	// Detail is a short human-readable explanation when degraded
+	// ("site 2 dead", "coordinator takeover in progress"); empty when OK.
+	Detail string
+}
+
+// Metrics renders a runtime's counters in the Prometheus text exposition
+// format (version 0.0.4). All state is pulled through callbacks at render
+// time, so installing a Metrics costs the runtime nothing between
+// scrapes. Rendering order is fixed — no map iteration anywhere — so two
+// renders of identical state are byte-identical (the golden test pins
+// this).
+//
+// Naming scheme (see DESIGN.md "Observability"): every metric is
+// varmon_-prefixed; aggregate counters are unlabeled families
+// (varmon_messages_total); per-class counters are separate families
+// carrying the class label (varmon_query_messages_total{query="0"}), so
+// sum() over a per-class family equals the aggregate family exactly —
+// except varmon_query_staleness_max_ticks, which aggregates as a max.
+type Metrics struct {
+	// Stats returns the aggregate counters. Required.
+	Stats func() dist.Stats
+	// Classes returns the per-class counter tables (nil when the runtime
+	// has no classifier). Optional.
+	Classes func() []dist.Stats
+	// ClassLabel is the per-class label key and family-name infix
+	// ("query" renders varmon_query_messages_total{query="0"}).
+	// Defaults to "class".
+	ClassLabel string
+	// ClassValue returns the label value for class i. Defaults to the
+	// decimal index.
+	ClassValue func(i int) string
+	// Gauges, when set, contributes runtime-specific instantaneous values
+	// (virtual clock, pending events, ring occupancy). Call emit once per
+	// gauge in a fixed order.
+	Gauges func(emit func(name, help string, value float64))
+	// Health, when set, is the /healthz verdict and renders the
+	// varmon_healthy gauge.
+	Health func() Health
+	// Ring, when set, contributes the event tracer's occupancy counters.
+	Ring *Ring
+	// Runtime enables Go runtime gauges (heap bytes, GC cycles,
+	// goroutines). Off by default: their values are nondeterministic, and
+	// leaving them out keeps rendered output reproducible for tests.
+	Runtime bool
+}
+
+// statField describes one dist.Stats counter's rendering.
+type statField struct {
+	name, help, typ string
+	get             func(*dist.Stats) int64
+}
+
+// statFields renders in this order, always. StalenessMax is the one
+// gauge: it aggregates as a max, not a sum.
+var statFields = []statField{
+	{"messages_site_to_coord_total", "Messages delivered to the coordinator.", "counter",
+		func(s *dist.Stats) int64 { return s.SiteToCoord }},
+	{"messages_coord_to_site_total", "Messages delivered to sites.", "counter",
+		func(s *dist.Stats) int64 { return s.CoordToSite }},
+	{"bytes_total", "Wire volume in bytes (MsgSize per message).", "counter",
+		func(s *dist.Stats) int64 { return s.Bytes }},
+	{"compact_bits_total", "Message volume in the paper's compact varint bit model.", "counter",
+		func(s *dist.Stats) int64 { return s.CompactBits }},
+	{"dropped_total", "Messages lost for good (network loss or dead slot).", "counter",
+		func(s *dist.Stats) int64 { return s.Dropped }},
+	{"retransmitted_total", "Retransmission attempts.", "counter",
+		func(s *dist.Stats) int64 { return s.Retransmitted }},
+	{"staleness_ticks_total", "Summed send-to-delivery staleness in virtual ticks.", "counter",
+		func(s *dist.Stats) int64 { return s.StalenessSum }},
+	{"staleness_max_ticks", "Largest single-message send-to-delivery staleness.", "gauge",
+		func(s *dist.Stats) int64 { return s.StalenessMax }},
+	{"heartbeats_sent_total", "Heartbeat beacons emitted by sites.", "counter",
+		func(s *dist.Stats) int64 { return s.HeartbeatsSent }},
+	{"heartbeats_recv_total", "Heartbeat beacons received by the coordinator.", "counter",
+		func(s *dist.Stats) int64 { return s.HeartbeatsRecv }},
+	{"heartbeat_misses_total", "Detector intervals with an overdue heartbeat.", "counter",
+		func(s *dist.Stats) int64 { return s.HeartbeatMisses }},
+	{"takeovers_total", "Replacement sites spliced into dead slots.", "counter",
+		func(s *dist.Stats) int64 { return s.Takeovers }},
+	{"coord_takeovers_total", "Standby coordinators spliced in.", "counter",
+		func(s *dist.Stats) int64 { return s.CoordTakeovers }},
+	{"epoch_drops_total", "Drops due to incarnation gating (subset of dropped).", "counter",
+		func(s *dist.Stats) int64 { return s.EpochDrops }},
+}
+
+// Render writes the full exposition to w.
+func (m *Metrics) Render(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if m.Health != nil {
+		h := m.Health()
+		v := int64(0)
+		if h.OK {
+			v = 1
+		}
+		writeHeader(bw, "varmon_healthy", "Whether the runtime is fully live (no dead site, no takeover in progress).", "gauge")
+		writeSample(bw, "varmon_healthy", "", v)
+	}
+	stats := m.Stats()
+	for i := range statFields {
+		f := &statFields[i]
+		writeHeader(bw, "varmon_"+f.name, f.help, f.typ)
+		writeSample(bw, "varmon_"+f.name, "", f.get(&stats))
+	}
+	if m.Ring != nil {
+		writeHeader(bw, "varmon_events_total", "Protocol events ever traced.", "counter")
+		writeSample(bw, "varmon_events_total", "", int64(m.Ring.Total()))
+		writeHeader(bw, "varmon_events_retained", "Protocol events currently retained in the trace ring.", "gauge")
+		writeSample(bw, "varmon_events_retained", "", int64(m.Ring.Len()))
+		writeHeader(bw, "varmon_events_evicted_total", "Protocol events evicted from the trace ring.", "counter")
+		writeSample(bw, "varmon_events_evicted_total", "", int64(m.Ring.Evicted()))
+	}
+	if m.Gauges != nil {
+		m.Gauges(func(name, help string, value float64) {
+			writeHeader(bw, "varmon_"+name, help, "gauge")
+			bw.WriteString("varmon_" + name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatFloat(value, 'g', -1, 64))
+			bw.WriteByte('\n')
+		})
+	}
+	if m.Runtime {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		writeHeader(bw, "varmon_go_heap_alloc_bytes", "Live heap bytes (runtime.MemStats.HeapAlloc).", "gauge")
+		writeSample(bw, "varmon_go_heap_alloc_bytes", "", int64(ms.HeapAlloc))
+		writeHeader(bw, "varmon_go_total_alloc_bytes", "Cumulative heap bytes allocated.", "counter")
+		writeSample(bw, "varmon_go_total_alloc_bytes", "", int64(ms.TotalAlloc))
+		writeHeader(bw, "varmon_go_gc_cycles_total", "Completed GC cycles.", "counter")
+		writeSample(bw, "varmon_go_gc_cycles_total", "", int64(ms.NumGC))
+		writeHeader(bw, "varmon_go_goroutines", "Live goroutines.", "gauge")
+		writeSample(bw, "varmon_go_goroutines", "", int64(runtime.NumGoroutine()))
+	}
+	if m.Classes != nil {
+		if classes := m.Classes(); len(classes) > 0 {
+			label := m.ClassLabel
+			if label == "" {
+				label = "class"
+			}
+			value := m.ClassValue
+			if value == nil {
+				value = strconv.Itoa
+			}
+			for i := range statFields {
+				f := &statFields[i]
+				name := "varmon_" + label + "_" + f.name
+				writeHeader(bw, name, "Per-"+label+" split of varmon_"+f.name+".", f.typ)
+				for ci := range classes {
+					writeSample(bw, name, label+"=\""+escapeLabel(value(ci))+"\"", f.get(&classes[ci]))
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHeader(bw *bufio.Writer, name, help, typ string) {
+	bw.WriteString("# HELP ")
+	bw.WriteString(name)
+	bw.WriteByte(' ')
+	bw.WriteString(help)
+	bw.WriteString("\n# TYPE ")
+	bw.WriteString(name)
+	bw.WriteByte(' ')
+	bw.WriteString(typ)
+	bw.WriteByte('\n')
+}
+
+func writeSample(bw *bufio.Writer, name, labels string, v int64) {
+	bw.WriteString(name)
+	if labels != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(v, 10))
+	bw.WriteByte('\n')
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(s string) string {
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' || s[i] == '"' || s[i] == '\n' {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	out := make([]byte, 0, len(s)+4)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

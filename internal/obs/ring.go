@@ -1,0 +1,128 @@
+// Package obs is the observability layer: a fixed-capacity ring of traced
+// protocol events (dist.EventSink), a dependency-free metrics registry
+// rendering dist.Stats in Prometheus text exposition format, and an HTTP
+// admin surface (/status, /metrics, /events, /healthz, /debug/pprof)
+// shared by every varmon runtime.
+//
+// The layering is strictly one-way: obs imports dist, never the reverse.
+// Runtimes expose hooks (Sim.Events, AsyncSim.Events,
+// Coordinator.SetEventSink) and obs plugs into them, so a runtime with no
+// sink installed pays nothing — see the zero-overhead contract in
+// DESIGN.md "Observability".
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/dist"
+)
+
+// Ring is a fixed-capacity FIFO of traced events: the newest Cap events
+// survive, older ones are evicted. It is safe for concurrent use — the
+// TCP coordinator emits from its serve goroutines while HTTP handlers
+// snapshot — and emission never allocates after construction.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []dist.Event
+	head  int    // index of the oldest retained event
+	n     int    // retained count
+	total uint64 // events ever emitted
+}
+
+// DefaultRingCap is the event capacity varmon uses when tracing is
+// enabled: comfortably above the control-plane event count of a full
+// chaos run, far below anything a data-plane flood could need.
+const DefaultRingCap = 4096
+
+// NewRing returns a ring retaining the newest capacity events
+// (DefaultRingCap if capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCap
+	}
+	return &Ring{buf: make([]dist.Event, capacity)}
+}
+
+// Emit appends one event, evicting the oldest when full. Bind it as a
+// method value (sink := ring.Emit) to install the ring on a runtime.
+func (r *Ring) Emit(e dist.Event) {
+	r.mu.Lock()
+	if r.n == len(r.buf) {
+		r.buf[r.head] = e
+		r.head++
+		if r.head == len(r.buf) {
+			r.head = 0
+		}
+	} else {
+		i := r.head + r.n
+		if i >= len(r.buf) {
+			i -= len(r.buf)
+		}
+		r.buf[i] = e
+		r.n++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Total returns the number of events ever emitted.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Evicted returns how many events the ring has dropped to stay within
+// capacity.
+func (r *Ring) Evicted() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - uint64(r.n)
+}
+
+// Snapshot returns the retained events, oldest first.
+func (r *Ring) Snapshot() []dist.Event { return r.Last(-1) }
+
+// Last returns the newest n retained events, oldest first (all of them
+// when n < 0 or n exceeds the retained count).
+func (r *Ring) Last(n int) []dist.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n < 0 || n > r.n {
+		n = r.n
+	}
+	out := make([]dist.Event, n)
+	start := r.head + r.n - n
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// WriteJSONL writes events as JSON Lines, one object per event, in the
+// order given. The encoding is hand-rolled: every field is an integer or
+// a fixed kind name, so no escaping is ever needed and the dump works
+// identically on every platform.
+func WriteJSONL(w io.Writer, events []dist.Event) error {
+	bw := bufio.NewWriter(w)
+	for i := range events {
+		e := &events[i]
+		_, err := fmt.Fprintf(bw,
+			"{\"kind\":%q,\"t\":%d,\"now\":%d,\"site\":%d,\"to\":%d,\"item\":%d,\"a\":%d,\"b\":%d}\n",
+			e.Kind.String(), e.T, e.Now, e.Site, e.To, e.Item, e.A, e.B)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -83,6 +83,47 @@ func blockExponent(f int64, k int) int64 {
 	return r
 }
 
+// stampOutbox is the outbox BlockSite hands its in-block estimator: it
+// stamps every outgoing drift report with the site's block sequence
+// (Item is unused by all KindDriftReport senders) and forwards everything
+// else untouched. Drift values are absolute *within* their block, so the
+// coordinator spine uses the stamp to drop a report that raced a block
+// boundary — without it, such a report overwrites the freshly reset
+// mirror with pre-boundary content whose every update is already folded
+// into f(n_j) through the closing collection's state replies, and the
+// estimate double-counts it until the site's next report (forever, when
+// the stream ends first — the intermittent +Δ the standby-takeover smoke
+// used to show). The wrapper lives by value on BlockSite and is re-armed
+// per call, so the stamped path never allocates.
+type stampOutbox struct {
+	out dist.Outbox //varlint:volatile per-call transient; re-armed by BlockSite.stamped
+	seq uint64      //varlint:volatile per-call transient; re-armed by BlockSite.stamped
+}
+
+//varlint:zeroalloc
+func (o *stampOutbox) Send(m dist.Msg) {
+	if m.Kind == dist.KindDriftReport {
+		m.Item = o.seq
+	}
+	o.out.Send(m)
+}
+
+//varlint:zeroalloc
+func (o *stampOutbox) SendTo(site int, m dist.Msg) {
+	if m.Kind == dist.KindDriftReport {
+		m.Item = o.seq
+	}
+	o.out.SendTo(site, m)
+}
+
+//varlint:zeroalloc
+func (o *stampOutbox) Broadcast(m dist.Msg) {
+	if m.Kind == dist.KindDriftReport {
+		m.Item = o.seq
+	}
+	o.out.Broadcast(m)
+}
+
 // BlockSite runs the §3.1 partition protocol at one site and delegates
 // in-block estimation to an InBlockSite.
 type BlockSite struct {
@@ -134,6 +175,20 @@ type BlockSite struct {
 	deferReply     bool   //varlint:volatile takeover-window transient; AppendSnapshot errors while the window is open
 	snapReplies    int64  //varlint:volatile takeover-window transient; AppendSnapshot errors while the window is open
 	snapHash       uint64 //varlint:volatile integrity hash of the restored blob; RestoreSite installs it after restore
+
+	// stamp is the reusable drift-report stamping wrapper; see stampOutbox.
+	stamp stampOutbox //varlint:volatile per-call transient; stamped derives it from seenBlocks
+}
+
+// stamped re-arms the stamping wrapper around the runtime outbox for one
+// inner-estimator call. Zero-alloc: the wrapper is a field, the interface
+// conversion is a pointer.
+//
+//varlint:zeroalloc
+func (s *BlockSite) stamped(out dist.Outbox) dist.Outbox {
+	s.stamp.out = out
+	s.stamp.seq = uint64(s.seenBlocks)
+	return &s.stamp
 }
 
 // NewBlockSite wraps inner with the partition protocol for site id.
@@ -153,7 +208,7 @@ func NewBlockSite(id int, inner InBlockSite) *BlockSite {
 func (s *BlockSite) OnUpdate(u stream.Update, out dist.Outbox) {
 	s.ci++
 	s.fi += u.Delta
-	s.inner.OnUpdate(u, out)
+	s.inner.OnUpdate(u, s.stamped(out))
 	if s.ci >= s.batch {
 		out.Send(dist.Msg{Kind: dist.KindCountReport, Site: s.id, A: s.ci})
 		s.ci = 0
@@ -175,7 +230,7 @@ func (s *BlockSite) OnUpdateBatch(us []stream.Update, out dist.Outbox) int {
 	if lim := s.batch - s.ci; int64(len(us)) > lim {
 		us = us[:lim]
 	}
-	consumed := s.innerBatch.OnUpdateBatch(us, out)
+	consumed := s.innerBatch.OnUpdateBatch(us, s.stamped(out))
 	s.ci += int64(consumed)
 	for _, u := range us[:consumed] {
 		s.fi += u.Delta
@@ -226,7 +281,7 @@ func (s *BlockSite) OnMessage(m dist.Msg, out dist.Outbox) {
 		if m.Item&1 == 1 {
 			if int64(m.Item>>1) == s.seenBlocks {
 				if s.innerRejoin != nil {
-					s.innerRejoin.OnRejoin(out)
+					s.innerRejoin.OnRejoin(s.stamped(out))
 				}
 				return
 			}
@@ -260,7 +315,7 @@ func (s *BlockSite) OnMessage(m dist.Msg, out dist.Outbox) {
 		}
 		s.r = m.A
 		s.batch = ceilPow2Half(s.r)
-		s.inner.Reset(s.r, out)
+		s.inner.Reset(s.r, s.stamped(out))
 		// Adopting a missed boundary from a resync copy leaves the
 		// coordinator's in-block mirror for this slot stale: the
 		// coordinator cleared everyone's estimate at the boundary, then
@@ -271,7 +326,7 @@ func (s *BlockSite) OnMessage(m dist.Msg, out dist.Outbox) {
 		// estimator state re-aligns the mirror without waiting for the
 		// next threshold crossing or boundary.
 		if resync && s.innerRejoin != nil {
-			s.innerRejoin.OnRejoin(out)
+			s.innerRejoin.OnRejoin(s.stamped(out))
 		}
 	case dist.KindTakeover:
 		// The coordinator's acknowledgement of our OnTakeover announce: A is
@@ -425,8 +480,22 @@ func NewBlockCoord(k int, inner InBlockCoord) *BlockCoord {
 // value reports) is forwarded to the inner coordinator by the default
 // clause, and the coordinator-originated broadcasts never arrive here.
 func (c *BlockCoord) OnMessage(m dist.Msg, out dist.Outbox) {
-	//varlint:kinds KindAttach,KindDetach,KindDriftReport,KindFreqEnd,KindFreqReport,KindNewBlock,KindStateRequest,KindValueReport
+	//varlint:kinds KindAttach,KindDetach,KindFreqEnd,KindFreqReport,KindNewBlock,KindStateRequest,KindValueReport
 	switch m.Kind {
+	case dist.KindDriftReport:
+		// Sites stamp drift reports with their block sequence (see
+		// stampOutbox). A stale stamp means the report crossed a block
+		// boundary in flight: its absolute value is measured against the
+		// previous block's base, and that content is already in f(n_j)
+		// through the collection that closed the block — folding it into
+		// the freshly reset mirror would double-count it. Drop it; the
+		// site's post-adoption drift starts from zero on both sides, so
+		// nothing is lost. (Stale stamps never occur on the synchronous
+		// Sim — every report drains before the collection cascade closes —
+		// so this guard costs crash-free runs nothing but the compare.)
+		if m.Item == uint64(c.blocks) {
+			c.inner.OnMessage(m)
+		}
 	case dist.KindCountReport:
 		c.that += m.A
 		if !c.collecting && c.that >= c.tj {
